@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks of the hot data structures: the event
+//! queue, the port queue (ECN + trimming), sequence tracking, the loss
+//! detector, and the latency histogram.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dcsim::events::{Event, EventQueue, TimerKind};
+use dcsim::packet::{AgentId, FlowId, HostId, Packet};
+use dcsim::protocol::SeqSet;
+use dcsim::queues::{PortQueue, QueueConfig};
+use dcsim::time::SimTime;
+use incast_core::lossdetect::{LossDetector, LossDetectorConfig};
+use trace::{LogHistogram, SplitMix64};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("schedule_pop_1k_pending", |b| {
+        let mut q = EventQueue::new();
+        let mut rng = SplitMix64::new(1);
+        let mut t = 0u64;
+        for _ in 0..1000 {
+            t += rng.next_bounded(1000);
+            q.schedule(
+                SimTime(t),
+                Event::Timer {
+                    agent: AgentId(0),
+                    kind: TimerKind::Rto { epoch: 0 },
+                },
+            );
+        }
+        b.iter(|| {
+            let (at, _e) = q.pop().expect("non-empty");
+            q.schedule(
+                SimTime(at.0 + 1 + rng.next_bounded(1000)),
+                Event::Timer {
+                    agent: AgentId(0),
+                    kind: TimerKind::Rto { epoch: 0 },
+                },
+            );
+            black_box(at)
+        });
+    });
+    group.finish();
+}
+
+fn bench_port_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("port_queue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("enqueue_dequeue_datacenter_config", |b| {
+        let mut q = PortQueue::new(QueueConfig::datacenter());
+        let mut rng = SplitMix64::new(2);
+        let pkt = Packet::data(FlowId(0), 0, HostId(0), HostId(1), 0);
+        b.iter(|| {
+            q.enqueue(black_box(pkt), &mut rng);
+            black_box(q.dequeue())
+        });
+    });
+    group.bench_function("enqueue_trim_path", |b| {
+        // Keep the data queue full so every enqueue trims.
+        let cfg = QueueConfig {
+            capacity_bytes: 1500,
+            ctrl_capacity_bytes: 1_000_000_000,
+            mark_low_bytes: 0,
+            mark_high_bytes: 1500,
+            trim: true,
+        };
+        let mut q = PortQueue::new(cfg);
+        let mut rng = SplitMix64::new(3);
+        let pkt = Packet::data(FlowId(0), 0, HostId(0), HostId(1), 0);
+        q.enqueue(pkt, &mut rng);
+        b.iter(|| {
+            q.enqueue(black_box(pkt), &mut rng); // trims
+            let header = q.dequeue().expect("header"); // drains the ctrl queue
+            black_box(header)
+        });
+    });
+    group.finish();
+}
+
+fn bench_seqset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_set");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert_remove_70k", |b| {
+        let mut s = SeqSet::new(70_000);
+        let mut rng = SplitMix64::new(4);
+        b.iter(|| {
+            let seq = rng.next_bounded(70_000);
+            s.insert(seq);
+            black_box(s.remove(seq))
+        });
+    });
+    group.finish();
+}
+
+fn bench_loss_detector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loss_detector");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("observe_in_order", |b| {
+        let mut det = LossDetector::new(LossDetectorConfig::default());
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            black_box(det.observe(FlowId(0), seq))
+        });
+    });
+    group.bench_function("observe_with_reordering", |b| {
+        let mut det = LossDetector::new(LossDetectorConfig::default());
+        let mut rng = SplitMix64::new(5);
+        let mut base = 0u64;
+        b.iter(|| {
+            base += 1;
+            let jitter = rng.next_bounded(4);
+            black_box(det.observe(FlowId(0), base.saturating_sub(jitter)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_histogram");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("record", |b| {
+        let mut h = LogHistogram::new();
+        let mut rng = SplitMix64::new(6);
+        b.iter(|| h.record(black_box(rng.next_bounded(1_000_000_000))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_port_queue,
+    bench_seqset,
+    bench_loss_detector,
+    bench_histogram
+);
+criterion_main!(benches);

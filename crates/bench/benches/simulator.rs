@@ -1,0 +1,52 @@
+//! Criterion benchmarks of end-to-end simulator throughput: how many
+//! events per second the engine processes for representative incasts.
+//! These keep the figure binaries' runtimes honest as the code evolves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use incast_core::{run_incast, ExperimentConfig, Scheme};
+use dcsim::topology::TwoDcParams;
+
+fn bench_incast_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_incast");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("small_topo_2MB_deg3", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let config = ExperimentConfig {
+                    topo: TwoDcParams::small_test(),
+                    scheme,
+                    degree: 3,
+                    total_bytes: 2_000_000,
+                    ..Default::default()
+                };
+                b.iter(|| run_incast(&config, 1));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_event_rate(c: &mut Criterion) {
+    // Measure raw engine throughput on a fixed mid-size run and report it
+    // as events/second via Criterion's throughput machinery.
+    let config = ExperimentConfig {
+        topo: TwoDcParams::small_test(),
+        scheme: Scheme::Baseline,
+        degree: 3,
+        total_bytes: 5_000_000,
+        ..Default::default()
+    };
+    let events = run_incast(&config, 1).events;
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("events_per_second_baseline_5MB", |b| {
+        b.iter(|| run_incast(&config, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incast_simulation, bench_event_rate);
+criterion_main!(benches);

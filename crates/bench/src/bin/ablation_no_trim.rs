@@ -1,0 +1,78 @@
+//! Ablation: trimming is what enables the early loss signal (§3, FW#1).
+//!
+//! The Streamlined proxy turns trimmed headers into immediate NACKs; with
+//! drop-tail switches there are no headers to convert and loss detection
+//! falls back to the RTO. This sweep quantifies how much of the scheme's
+//! benefit depends on trimming support — the motivation for Future Work
+//! #1 (loss tracking without router support, see
+//! `incast_core::lossdetect`).
+//!
+//! Run with: `cargo run --release -p bench --bin ablation_no_trim [--quick]`
+
+use bench::{banner, emit_json, RunOptions};
+use incast_core::experiment::TrimPolicy;
+use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use serde::Serialize;
+use trace::table::fmt_secs;
+use trace::Table;
+
+#[derive(Serialize)]
+struct Point {
+    degree: usize,
+    variant: String,
+    mean_secs: f64,
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    banner(
+        "Ablation: trimming",
+        "Streamlined with trimming switches vs drop-tail switches (100 MB)",
+    );
+    let degrees: &[usize] = if opts.quick { &[8] } else { &[4, 8, 16, 32] };
+
+    let mut table = Table::new(vec!["degree", "variant", "ICT mean", "slowdown"]);
+    for &degree in degrees {
+        let mut trim_mean = None;
+        for (variant, trim) in [
+            ("streamlined + trimming", TrimPolicy::SchemeDefault),
+            ("streamlined + drop-tail", TrimPolicy::ForceOff),
+        ] {
+            let config = ExperimentConfig {
+                scheme: Scheme::ProxyStreamlined,
+                degree,
+                total_bytes: 100_000_000,
+                trim,
+                seed: opts.seed,
+                ..Default::default()
+            };
+            let (summary, _) = run_repeated(&config, opts.runs);
+            let slowdown = match trim_mean {
+                None => {
+                    trim_mean = Some(summary.mean);
+                    "1.00x".to_string()
+                }
+                Some(base) => format!("{:.2}x", summary.mean / base),
+            };
+            table.row(vec![
+                degree.to_string(),
+                variant.to_string(),
+                fmt_secs(summary.mean),
+                slowdown,
+            ]);
+            emit_json(
+                "ablation_no_trim",
+                &Point {
+                    degree,
+                    variant: variant.to_string(),
+                    mean_secs: summary.mean,
+                },
+            );
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    println!("expected: without trimming the proxy never sees loss evidence,");
+    println!("recovery is RTO-bound, and much of the benefit evaporates —");
+    println!("hence FW#1's proxy-side loss detector (ablation_loss_detector).");
+}

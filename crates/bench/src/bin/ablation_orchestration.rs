@@ -1,0 +1,176 @@
+//! Ablation: orchestrating proxy selection across incasts (§5, FW#3).
+//!
+//! Two questions the paper raises, answered quantitatively:
+//!
+//! 1. **Does contention matter?** Simulate N concurrent incasts sharing
+//!    one proxy vs spread over distinct proxies.
+//! 2. **How do the selection designs compare?** Drive many allocation
+//!    requests through the global orchestrator, the decentralized
+//!    power-of-k selector (at several staleness levels), and random
+//!    placement; report load imbalance and trial overhead.
+//!
+//! Run with: `cargo run --release -p bench --bin ablation_orchestration [--quick]`
+
+use bench::{banner, emit_json, RunOptions};
+use dcsim::prelude::*;
+use incast_core::orchestrator::{
+    DecentralizedSelector, GlobalOrchestrator, IncastRequest, ProxySelector,
+};
+use incast_core::scheme::{install_incast, IncastSpec, Scheme};
+use serde::Serialize;
+use trace::table::fmt_secs;
+use trace::{SplitMix64, Table};
+
+#[derive(Serialize)]
+struct ContentionPoint {
+    concurrent_incasts: usize,
+    placement: String,
+    worst_ict_secs: f64,
+}
+
+#[derive(Serialize)]
+struct SelectorPoint {
+    selector: String,
+    max_load: u64,
+    avg_trials: f64,
+    conflicts: u64,
+}
+
+const DEGREE: usize = 4;
+const BYTES: u64 = 50_000_000;
+
+/// Runs `n` concurrent streamlined incasts with the given proxy choice
+/// per incast; returns the worst completion (the job-level metric).
+fn run_concurrent(proxies: &[HostId], seed: u64) -> f64 {
+    let params = TwoDcParams::default().with_trim(true);
+    let topo = two_dc_leaf_spine(&params);
+    let mut sim = Simulator::new(topo, seed);
+    let dc0 = sim.topology().hosts_in_dc(0);
+    let dc1 = sim.topology().hosts_in_dc(1);
+    let mut handles = Vec::new();
+    for (i, &proxy) in proxies.iter().enumerate() {
+        let lo = i * DEGREE;
+        let spec = IncastSpec::new(dc0[lo..lo + DEGREE].to_vec(), dc1[i], BYTES).with_proxy(proxy);
+        handles.push(install_incast(&mut sim, &spec, Scheme::ProxyStreamlined));
+    }
+    sim.run(Some(SimTime::ZERO + SimDuration::from_secs(600)));
+    handles
+        .iter()
+        .map(|h| h.completion(sim.metrics()).expect("completes").as_secs_f64())
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    banner(
+        "Ablation: orchestration (FW#3)",
+        "proxy contention across concurrent incasts, and selector comparison",
+    );
+
+    // Part 1: contention in simulation.
+    let topo = two_dc_leaf_spine(&TwoDcParams::default());
+    let dc0 = topo.hosts_in_dc(0);
+    let counts: &[usize] = if opts.quick { &[2] } else { &[2, 3, 4] };
+    let mut table = Table::new(vec!["concurrent", "placement", "worst ICT", "penalty"]);
+    for &n in counts {
+        let pool_start = n * DEGREE; // hosts beyond the senders
+        let shared = vec![dc0[pool_start]; n];
+        let distinct: Vec<HostId> = (0..n).map(|i| dc0[pool_start + i]).collect();
+        let worst_shared = run_concurrent(&shared, opts.seed);
+        let worst_distinct = run_concurrent(&distinct, opts.seed);
+        table.row(vec![
+            n.to_string(),
+            "one shared proxy".to_string(),
+            fmt_secs(worst_shared),
+            format!("{:.2}x", worst_shared / worst_distinct),
+        ]);
+        table.row(vec![
+            n.to_string(),
+            "distinct proxies".to_string(),
+            fmt_secs(worst_distinct),
+            "1.00x".to_string(),
+        ]);
+        emit_json(
+            "ablation_orchestration",
+            &ContentionPoint {
+                concurrent_incasts: n,
+                placement: "shared".into(),
+                worst_ict_secs: worst_shared,
+            },
+        );
+        emit_json(
+            "ablation_orchestration",
+            &ContentionPoint {
+                concurrent_incasts: n,
+                placement: "distinct".into(),
+                worst_ict_secs: worst_distinct,
+            },
+        );
+    }
+    print!("{}", table.render());
+    println!();
+
+    // Part 2: selector quality at allocation scale.
+    let candidates: Vec<HostId> = (0..32).map(HostId).collect();
+    let requests: Vec<IncastRequest> = (0..256)
+        .map(|id| IncastRequest {
+            id,
+            senders: vec![HostId(1000), HostId(1001)],
+            receiver: HostId(2000),
+            expected_bytes: 1,
+        })
+        .collect();
+
+    let mut table = Table::new(vec!["selector", "max load", "avg trials", "conflicts"]);
+    let mut report = |name: &str, max_load: u64, avg_trials: f64, conflicts: u64| {
+        table.row(vec![
+            name.to_string(),
+            max_load.to_string(),
+            format!("{avg_trials:.2}"),
+            conflicts.to_string(),
+        ]);
+        emit_json(
+            "ablation_orchestration_selectors",
+            &SelectorPoint {
+                selector: name.to_string(),
+                max_load,
+                avg_trials,
+                conflicts,
+            },
+        );
+    };
+
+    let mut global = GlobalOrchestrator::new(candidates.clone());
+    let mut trials = 0u64;
+    for r in &requests {
+        trials += global.select(r).expect("assignment").trials as u64;
+    }
+    let max = candidates.iter().map(|&c| global.load_of(c)).max().unwrap();
+    report("global orchestrator", max, trials as f64 / 256.0, 0);
+
+    for (label, p) in [("decentralized k=2, fresh", 0.0), ("decentralized k=2, stale p=0.3", 0.3)] {
+        let mut dec = DecentralizedSelector::new(candidates.clone(), 2, opts.seed)
+            .with_conflict_probability(p);
+        let mut trials = 0u64;
+        for r in &requests {
+            trials += dec.select(r).expect("assignment").trials as u64;
+        }
+        let max = candidates.iter().map(|&c| dec.load_of(c)).max().unwrap();
+        report(label, max, trials as f64 / 256.0, dec.conflicts);
+    }
+
+    // Random placement strawman.
+    let mut rng = SplitMix64::new(opts.seed);
+    let mut load = vec![0u64; candidates.len()];
+    for _ in &requests {
+        load[rng.next_bounded(candidates.len() as u64) as usize] += 1;
+    }
+    report("random placement", *load.iter().max().unwrap(), 1.0, 0);
+
+    print!("{}", table.render());
+    println!();
+    println!("expected: shared proxies multiply the job-level ICT; the global");
+    println!("orchestrator balances perfectly at zero trial overhead, the");
+    println!("decentralized selector trades balance and retries for avoiding");
+    println!("the central status stream the paper worries about.");
+}

@@ -1,0 +1,78 @@
+//! Ablation: a proxy that *merely relays* does not help (Insight #2).
+//!
+//! §3: "Crucially, a proxy that simply relays packets between senders and
+//! the receiver does not accelerate convergence, because it still takes
+//! at least as long for the senders to receive network signals."
+//!
+//! We run the Streamlined scheme twice: with early NACKs (the design) and
+//! with NACK generation disabled, so trimmed headers travel on to the
+//! remote receiver and the loss signal pays the full long-haul RTT.
+//!
+//! Run with: `cargo run --release -p bench --bin ablation_relay_only [--quick]`
+
+use bench::{banner, emit_json, RunOptions};
+use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use serde::Serialize;
+use trace::table::fmt_secs;
+use trace::Table;
+
+#[derive(Serialize)]
+struct Point {
+    degree: usize,
+    variant: String,
+    mean_secs: f64,
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    banner(
+        "Ablation: relay-only proxy",
+        "Streamlined with vs without early NACKs (100 MB), plus the no-proxy baseline",
+    );
+    let degrees: &[usize] = if opts.quick { &[8] } else { &[4, 8, 16, 32] };
+
+    let mut table = Table::new(vec!["degree", "variant", "ICT mean", "vs early-NACK"]);
+    for &degree in degrees {
+        let mut early_mean = None;
+        for (variant, scheme, early_nack) in [
+            ("proxy, early NACKs", Scheme::ProxyStreamlined, true),
+            ("proxy, relay-only", Scheme::ProxyStreamlined, false),
+            ("no proxy (baseline)", Scheme::Baseline, true),
+        ] {
+            let config = ExperimentConfig {
+                scheme,
+                degree,
+                total_bytes: 100_000_000,
+                early_nack,
+                seed: opts.seed,
+                ..Default::default()
+            };
+            let (summary, _) = run_repeated(&config, opts.runs);
+            let slowdown = match early_mean {
+                None => {
+                    early_mean = Some(summary.mean);
+                    "1.00x".to_string()
+                }
+                Some(base) => format!("{:.2}x", summary.mean / base),
+            };
+            table.row(vec![
+                degree.to_string(),
+                variant.to_string(),
+                fmt_secs(summary.mean),
+                slowdown,
+            ]);
+            emit_json(
+                "ablation_relay_only",
+                &Point {
+                    degree,
+                    variant: variant.to_string(),
+                    mean_secs: summary.mean,
+                },
+            );
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    println!("expected: relay-only loses most of the proxy's benefit — the");
+    println!("bottleneck moved, but the feedback loop did not shorten.");
+}

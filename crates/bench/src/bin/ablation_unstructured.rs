@@ -1,0 +1,114 @@
+//! Ablation: the proxy schemes on an *unstructured* topology.
+//!
+//! §5 FW#1 ties loss detection to topology: "unstructured topology can
+//! cause more reordered packets with varied-length paths". The random-
+//! graph two-datacenter topology (`dcsim::topology::two_dc_unstructured`)
+//! has exactly that property — equal-cost choices lead onto continuations
+//! of genuinely different hop counts — so packet spraying reorders far
+//! more than on the symmetric leaf–spine fabric. We run all four schemes
+//! there and compare the detecting proxy's accuracy-sensitive behaviour
+//! against the leaf–spine results.
+//!
+//! Run with: `cargo run --release -p bench --bin ablation_unstructured [--quick]`
+
+use bench::{banner, emit_json, RunOptions};
+use dcsim::prelude::*;
+use incast_core::lossdetect::LossDetectorConfig;
+use incast_core::scheme::{install_incast, IncastSpec, Scheme};
+use serde::Serialize;
+use trace::table::fmt_secs;
+use trace::{derive_seed, Summary, Table};
+
+#[derive(Serialize)]
+struct Point {
+    scheme: String,
+    threshold: u32,
+    mean_secs: f64,
+}
+
+const DEGREE: usize = 8;
+const BYTES: u64 = 100_000_000;
+
+fn run(scheme: Scheme, threshold: u32, seed: u64) -> f64 {
+    let params = UnstructuredParams {
+        switches_per_dc: 16,
+        extra_links_per_dc: 24,
+        hosts_per_dc: 32,
+        gateways: 4,
+        seed: derive_seed(seed, 0x7079),
+        ..Default::default()
+    };
+    let mut params = params;
+    // Trimming only for the Streamlined scheme, as in §4.1.
+    params.dc_queue.trim = scheme == Scheme::ProxyStreamlined;
+    let topo = two_dc_unstructured(&params);
+    let mut sim = Simulator::new(topo, seed);
+    let dc0 = sim.topology().hosts_in_dc(0);
+    let dc1 = sim.topology().hosts_in_dc(1);
+    let mut spec = IncastSpec::new(dc0[..DEGREE].to_vec(), dc1[0], BYTES);
+    if scheme.uses_proxy() {
+        spec = spec.with_proxy(*dc0.last().expect("hosts"));
+    }
+    spec.detector = LossDetectorConfig {
+        reorder_threshold: threshold,
+        max_pending: 4096,
+        ..Default::default()
+    };
+    let handle = install_incast(&mut sim, &spec, scheme);
+    sim.run(Some(SimTime::ZERO + SimDuration::from_secs(600)));
+    handle
+        .completion(sim.metrics())
+        .expect("incast completes")
+        .as_secs_f64()
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    banner(
+        "Ablation: unstructured topology",
+        "all schemes on a random-graph fabric with varied-length paths (degree 8, 100 MB)",
+    );
+
+    let mut table = Table::new(vec!["variant", "ICT mean", "min", "max"]);
+    let mut cases: Vec<(String, Scheme, u32)> = vec![
+        ("baseline".into(), Scheme::Baseline, 8),
+        ("proxy (naive)".into(), Scheme::ProxyNaive, 8),
+        ("proxy (streamlined, trimming)".into(), Scheme::ProxyStreamlined, 8),
+    ];
+    let thresholds: &[u32] = if opts.quick { &[8] } else { &[3, 8, 32] };
+    for &t in thresholds {
+        cases.push((
+            format!("proxy (detecting, thresh={t})"),
+            Scheme::ProxyDetecting,
+            t,
+        ));
+    }
+
+    for (label, scheme, threshold) in cases {
+        let samples: Vec<f64> = (0..opts.runs)
+            .map(|r| run(scheme, threshold, derive_seed(opts.seed, r as u64)))
+            .collect();
+        let summary = Summary::of(&samples);
+        table.row(vec![
+            label.clone(),
+            fmt_secs(summary.mean),
+            fmt_secs(summary.min),
+            fmt_secs(summary.max),
+        ]);
+        emit_json(
+            "ablation_unstructured",
+            &Point {
+                scheme: label,
+                threshold,
+                mean_secs: summary.mean,
+            },
+        );
+    }
+    print!("{}", table.render());
+    println!();
+    println!("reading: the proxy's ordering survives an arbitrary fabric; the");
+    println!("varied-length paths raise reordering, which penalizes the");
+    println!("detecting proxy's low thresholds more than on the symmetric");
+    println!("leaf-spine (compare ablation_detector_proxy) — FW#1's topology");
+    println!("coupling, measured.");
+}

@@ -1,0 +1,95 @@
+//! Mechanism demonstration: the proxy *moves the congestion point*
+//! (Figure 1 / Insight #1, measured).
+//!
+//! Traces the queue occupancy of the two candidate bottlenecks — the
+//! receiver's down-ToR in the receiving datacenter and the proxy's
+//! down-ToR in the sending datacenter — under each scheme, and prints the
+//! occupancy timeline. Under Baseline the receiver-side queue saturates
+//! (and the loss evidence sits a millisecond from the senders); under the
+//! proxy schemes the proxy-side queue saturates instead, microseconds
+//! from the senders, while the receiver-side queue stays almost empty.
+//!
+//! Run with: `cargo run --release -p bench --bin congestion_point [--quick]`
+
+use bench::{banner, emit_json, RunOptions};
+use dcsim::prelude::*;
+use incast_core::experiment::{ExperimentConfig, TrimPolicy};
+use incast_core::scheme::install_incast;
+use incast_core::Scheme;
+use serde::Serialize;
+use trace::timeseries::{step_max, step_mean};
+use trace::Table;
+
+#[derive(Serialize)]
+struct Point {
+    scheme: String,
+    queue: String,
+    max_occupancy_bytes: u64,
+    mean_occupancy_bytes: u64,
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    banner(
+        "Congestion point",
+        "queue occupancy at the receiver vs proxy down-ToR (degree 8, 100 MB)",
+    );
+
+    let mut table = Table::new(vec![
+        "scheme",
+        "queue",
+        "max occupancy",
+        "mean occupancy",
+    ]);
+    for scheme in Scheme::ALL {
+        let config = ExperimentConfig {
+            scheme,
+            degree: 8,
+            total_bytes: 100_000_000,
+            seed: opts.seed,
+            ..Default::default()
+        };
+        let params = config
+            .topo
+            .with_trim(TrimPolicy::SchemeDefault.enabled_for(scheme));
+        let topo = two_dc_leaf_spine(&params);
+        let mut sim = Simulator::new(topo, opts.seed);
+        let spec = config.placement(sim.topology());
+        let rx_port = sim.topology().down_tor_port(spec.receiver);
+        let px_port = sim.topology().down_tor_port(spec.proxy.expect("placement sets proxy"));
+        sim.trace_port(rx_port);
+        sim.trace_port(px_port);
+        let handle = install_incast(&mut sim, &spec, scheme);
+        sim.run(Some(SimTime::ZERO + config.time_limit));
+        let end = handle.completion(sim.metrics()).expect("completes");
+        for (name, port) in [("receiver down-ToR", rx_port), ("proxy down-ToR", px_port)] {
+            let samples: Vec<(u64, u64)> = sim
+                .port_trace(port)
+                .iter()
+                .map(|&(t, b)| (t.0, b))
+                .collect();
+            let (max, mean) = (step_max(&samples), step_mean(&samples, end.0) as u64);
+            table.row(vec![
+                scheme.label().to_string(),
+                name.to_string(),
+                trace::table::fmt_bytes(max),
+                trace::table::fmt_bytes(mean),
+            ]);
+            emit_json(
+                "congestion_point",
+                &Point {
+                    scheme: scheme.label().to_string(),
+                    queue: name.to_string(),
+                    max_occupancy_bytes: max,
+                    mean_occupancy_bytes: mean,
+                },
+            );
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    println!("expected: Baseline saturates the receiver down-ToR (a full");
+    println!("17 MB buffer, milliseconds from the senders); the proxy schemes");
+    println!("saturate the proxy down-ToR instead and leave the receiver-side");
+    println!("queue nearly empty — the bottleneck moved into the sending DC.");
+}

@@ -1,0 +1,98 @@
+//! Figure 2 (Left): incast completion time vs incast degree.
+//!
+//! §4.2: "we fix the total incast size to 100MB and vary the number of
+//! incast senders. The total traffic is split equally among all senders."
+//! Each point is 5 seeded runs, reported as mean (min–max), per the
+//! paper's protocol.
+//!
+//! Run with: `cargo run --release -p bench --bin fig2_left [--quick]`
+
+use bench::{banner, emit_json, RunOptions};
+use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use serde::Serialize;
+use trace::table::fmt_secs;
+use trace::Table;
+
+#[derive(Serialize)]
+struct Point {
+    degree: usize,
+    scheme: String,
+    mean_secs: f64,
+    min_secs: f64,
+    max_secs: f64,
+    reduction_vs_baseline: f64,
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    banner(
+        "Figure 2 (Left)",
+        "incast completion time vs degree (100 MB total, 1 ms long-haul links)",
+    );
+    let degrees: &[usize] = if opts.quick {
+        &[4, 16]
+    } else {
+        &[2, 4, 8, 16, 32, 63]
+    };
+
+    let mut table = Table::new(vec!["degree", "scheme", "ICT mean", "min", "max", "vs baseline"]);
+    let mut naive_reductions = Vec::new();
+    let mut streamlined_reductions = Vec::new();
+
+    for &degree in degrees {
+        let mut baseline_mean = None;
+        for scheme in Scheme::ALL {
+            let config = ExperimentConfig {
+                scheme,
+                degree,
+                total_bytes: 100_000_000,
+                seed: opts.seed,
+                ..Default::default()
+            };
+            let (summary, _) = run_repeated(&config, opts.runs);
+            let reduction = match baseline_mean {
+                None => {
+                    baseline_mean = Some(summary.mean);
+                    0.0
+                }
+                Some(base) => (base - summary.mean) / base,
+            };
+            match scheme {
+                Scheme::ProxyNaive => naive_reductions.push(reduction),
+                Scheme::ProxyStreamlined => streamlined_reductions.push(reduction),
+                _ => {}
+            }
+            table.row(vec![
+                degree.to_string(),
+                scheme.label().to_string(),
+                fmt_secs(summary.mean),
+                fmt_secs(summary.min),
+                fmt_secs(summary.max),
+                if scheme == Scheme::Baseline {
+                    "—".to_string()
+                } else {
+                    format!("{:+.1}%", -reduction * 100.0)
+                },
+            ]);
+            emit_json(
+                "fig2_left",
+                &Point {
+                    degree,
+                    scheme: scheme.label().to_string(),
+                    mean_secs: summary.mean,
+                    min_secs: summary.min,
+                    max_secs: summary.max,
+                    reduction_vs_baseline: reduction,
+                },
+            );
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64 * 100.0;
+    println!(
+        "average ICT reduction: Naive {:.1}% | Streamlined {:.1}%   (paper: 75.67% | 70.60%)",
+        avg(&naive_reductions),
+        avg(&streamlined_reductions)
+    );
+}

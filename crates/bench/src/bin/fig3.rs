@@ -1,0 +1,98 @@
+//! Figure 3: incast completion time vs long-haul link latency (log–log).
+//!
+//! §4.2: "we fix the incast degree to 4 and the total incast size to
+//! 100MB. The intra-datacenter link latency is 1us. We vary the latency
+//! of the long-haul links ... Both proxy schemes outperform the baseline
+//! for any link latency larger than or equal to 100us ... The incast
+//! latency savings are more pronounced with larger link latencies."
+//!
+//! Run with: `cargo run --release -p bench --bin fig3 [--quick]`
+
+use bench::{banner, emit_json, RunOptions};
+use dcsim::prelude::*;
+use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use serde::Serialize;
+use trace::table::fmt_secs;
+use trace::Table;
+
+#[derive(Serialize)]
+struct Point {
+    wan_latency_us: u64,
+    scheme: String,
+    mean_secs: f64,
+    min_secs: f64,
+    max_secs: f64,
+    reduction_vs_baseline: f64,
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    banner(
+        "Figure 3",
+        "incast completion time vs long-haul link latency (degree 4, 100 MB; log-log)",
+    );
+    let latencies_us: &[u64] = if opts.quick {
+        &[1, 1_000]
+    } else {
+        &[1, 10, 100, 1_000, 10_000, 100_000]
+    };
+
+    let mut table = Table::new(vec![
+        "link latency",
+        "scheme",
+        "ICT mean",
+        "min",
+        "max",
+        "vs baseline",
+    ]);
+
+    for &us in latencies_us {
+        let mut baseline_mean = None;
+        for scheme in Scheme::ALL {
+            let config = ExperimentConfig {
+                scheme,
+                degree: 4,
+                total_bytes: 100_000_000,
+                topo: TwoDcParams::default().with_wan_latency(SimDuration::from_micros(us)),
+                seed: opts.seed,
+                ..Default::default()
+            };
+            let (summary, _) = run_repeated(&config, opts.runs);
+            let reduction = match baseline_mean {
+                None => {
+                    baseline_mean = Some(summary.mean);
+                    0.0
+                }
+                Some(base) => (base - summary.mean) / base,
+            };
+            table.row(vec![
+                format!("{}", SimDuration::from_micros(us)),
+                scheme.label().to_string(),
+                fmt_secs(summary.mean),
+                fmt_secs(summary.min),
+                fmt_secs(summary.max),
+                if scheme == Scheme::Baseline {
+                    "—".to_string()
+                } else {
+                    format!("{:+.1}%", -reduction * 100.0)
+                },
+            ]);
+            emit_json(
+                "fig3",
+                &Point {
+                    wan_latency_us: us,
+                    scheme: scheme.label().to_string(),
+                    mean_secs: summary.mean,
+                    min_secs: summary.min,
+                    max_secs: summary.max,
+                    reduction_vs_baseline: reduction,
+                },
+            );
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    println!("expected shape: baseline ahead at ~1 us (the extra hop is pure");
+    println!("overhead), crossover around 100 us, proxy wins growing with the");
+    println!("latency gap at region (ms) and WAN (100 ms) scale.");
+}

@@ -1,0 +1,194 @@
+//! General-purpose experiment CLI: run any incast configuration from
+//! flags and get the table + JSON that the figure binaries produce.
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin simulate -- \
+//!       --scheme streamlined --degree 16 --mb 100 --wan-us 1000 --runs 5
+//! ```
+//!
+//! Flags:
+//!   --scheme baseline|naive|streamlined|detecting|all   (default all)
+//!   --degree N          senders (default 8)
+//!   --mb N              total incast megabytes (default 100)
+//!   --wan-us N          long-haul link latency in µs (default 1000)
+//!   --runs N            repetitions (default 5)
+//!   --seed N            base seed (default 1)
+//!   --iw-scale X        initial-window scale (default 1.0)
+//!   --jitter X          leaf-spine latency jitter fraction (default 0)
+//!   --background N      background flows sharing the fabric (default 0)
+//!   --trim default|on|off   trimming policy (default scheme-default)
+
+use dcsim::prelude::*;
+use incast_core::experiment::TrimPolicy;
+use incast_core::scheme::install_incast;
+use incast_core::{ExperimentConfig, Scheme};
+use trace::table::fmt_secs;
+use trace::{derive_seed, Summary, Table};
+
+#[derive(Debug, Clone)]
+struct Cli {
+    schemes: Vec<Scheme>,
+    degree: usize,
+    mb: u64,
+    wan_us: u64,
+    runs: usize,
+    seed: u64,
+    iw_scale: f64,
+    jitter: f64,
+    background: usize,
+    trim: TrimPolicy,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            schemes: Scheme::ALL.to_vec(),
+            degree: 8,
+            mb: 100,
+            wan_us: 1000,
+            runs: 5,
+            seed: 1,
+            iw_scale: 1.0,
+            jitter: 0.0,
+            background: 0,
+            trim: TrimPolicy::SchemeDefault,
+        }
+    }
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let usage = "see the module docs: --scheme --degree --mb --wan-us --runs --seed --iw-scale --jitter --background --trim";
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("{arg} needs a value; {usage}"))
+                .clone()
+        };
+        match arg.as_str() {
+            "--scheme" => {
+                cli.schemes = match value().as_str() {
+                    "baseline" => vec![Scheme::Baseline],
+                    "naive" => vec![Scheme::ProxyNaive],
+                    "streamlined" => vec![Scheme::ProxyStreamlined],
+                    "detecting" => vec![Scheme::ProxyDetecting],
+                    "all" => Scheme::ALL.to_vec(),
+                    "extended" => Scheme::EXTENDED.to_vec(),
+                    other => panic!("unknown scheme {other:?}; {usage}"),
+                };
+            }
+            "--degree" => cli.degree = value().parse().expect("--degree: integer"),
+            "--mb" => cli.mb = value().parse().expect("--mb: integer"),
+            "--wan-us" => cli.wan_us = value().parse().expect("--wan-us: integer"),
+            "--runs" => cli.runs = value().parse().expect("--runs: integer"),
+            "--seed" => cli.seed = value().parse().expect("--seed: integer"),
+            "--iw-scale" => cli.iw_scale = value().parse().expect("--iw-scale: float"),
+            "--jitter" => cli.jitter = value().parse().expect("--jitter: float"),
+            "--background" => cli.background = value().parse().expect("--background: integer"),
+            "--trim" => {
+                cli.trim = match value().as_str() {
+                    "default" => TrimPolicy::SchemeDefault,
+                    "on" => TrimPolicy::ForceOn,
+                    "off" => TrimPolicy::ForceOff,
+                    other => panic!("unknown trim policy {other:?}; {usage}"),
+                };
+            }
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?}; {usage}"),
+        }
+    }
+    assert!(cli.runs > 0, "--runs must be positive");
+    cli
+}
+
+fn run_once(cli: &Cli, scheme: Scheme, seed: u64) -> (f64, u64, u64) {
+    let config = ExperimentConfig {
+        scheme,
+        degree: cli.degree,
+        total_bytes: cli.mb * 1_000_000,
+        iw_scale: cli.iw_scale,
+        trim: cli.trim,
+        topo: TwoDcParams::default()
+            .with_wan_latency(SimDuration::from_micros(cli.wan_us))
+            .with_path_jitter(cli.jitter, seed),
+        ..Default::default()
+    };
+    let params = config.topo.with_trim(config.trim.enabled_for(scheme));
+    let topo = two_dc_leaf_spine(&params);
+    let mut sim = Simulator::new(topo, seed);
+    let spec = config.placement(sim.topology());
+    if cli.background > 0 {
+        let mut hosts: Vec<HostId> =
+            (0..sim.topology().host_count() as u32).map(HostId).collect();
+        hosts.retain(|h| !spec.senders.contains(h) && *h != spec.receiver && Some(*h) != spec.proxy);
+        BackgroundTraffic {
+            flows: cli.background,
+            sizes: FlowSizeDist::WebSearch,
+            start_window: SimDuration::from_millis(10),
+            hosts,
+            seed: derive_seed(seed, 0xC11),
+        }
+        .install(&mut sim);
+    }
+    let handle = install_incast(&mut sim, &spec, scheme);
+    sim.run(Some(SimTime::ZERO + config.time_limit));
+    let ict = handle
+        .completion(sim.metrics())
+        .expect("incast must complete within the time limit")
+        .as_secs_f64();
+    let m = sim.metrics();
+    (ict, m.counter(Counter::RtoFires), m.counter(Counter::Retransmits))
+}
+
+fn main() {
+    let cli = parse_args();
+    println!(
+        "incast: degree {} x {} MB total, wan {} us, iw x{}, jitter {}, background {}, {} run(s)",
+        cli.degree, cli.mb, cli.wan_us, cli.iw_scale, cli.jitter, cli.background, cli.runs
+    );
+    println!();
+    let mut table = Table::new(vec!["scheme", "ICT mean", "min", "max", "rtos", "retx"]);
+    let mut baseline_mean = None;
+    for &scheme in &cli.schemes {
+        let mut icts = Vec::new();
+        let mut rtos = 0u64;
+        let mut retx = 0u64;
+        for r in 0..cli.runs {
+            let (ict, rt, rx) = run_once(&cli, scheme, derive_seed(cli.seed, r as u64));
+            icts.push(ict);
+            rtos += rt;
+            retx += rx;
+        }
+        let summary = Summary::of(&icts);
+        if scheme == Scheme::Baseline {
+            baseline_mean = Some(summary.mean);
+        }
+        table.row(vec![
+            scheme.label().to_string(),
+            fmt_secs(summary.mean),
+            fmt_secs(summary.min),
+            fmt_secs(summary.max),
+            (rtos / cli.runs as u64).to_string(),
+            (retx / cli.runs as u64).to_string(),
+        ]);
+        println!(
+            "JSON {}",
+            serde_json::json!({
+                "scheme": scheme.label(),
+                "mean_secs": summary.mean,
+                "min_secs": summary.min,
+                "max_secs": summary.max,
+            })
+        );
+    }
+    print!("{}", table.render());
+    if let Some(base) = baseline_mean {
+        println!();
+        println!("baseline mean: {} — reductions are relative to it", fmt_secs(base));
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared plumbing for the figure-reproduction binaries.
+//!
+//! Every `fig*` / `ablation_*` binary prints (a) a human-readable aligned
+//! table and (b) one JSON line per data point (prefix `JSON `), so
+//! EXPERIMENTS.md entries can be regenerated and diffed mechanically.
+//!
+//! Binaries accept `--quick` (1 run per point instead of the paper's 5,
+//! smaller sweeps) so the whole suite can run in CI time; full runs
+//! reproduce the §4.1 protocol exactly.
+
+use serde::Serialize;
+
+/// Command-line options shared by the reproduction binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Repetitions per experiment point (paper: 5).
+    pub runs: usize,
+    /// Reduced sweep for CI.
+    pub quick: bool,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl RunOptions {
+    /// Parses `--quick`, `--runs N`, `--seed N` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse(&args)
+    }
+
+    /// Parses from a pre-split argument list (testable).
+    pub fn parse(args: &[String]) -> Self {
+        let mut opts = RunOptions {
+            runs: 5,
+            quick: false,
+            seed: 1,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    opts.quick = true;
+                    opts.runs = 1;
+                }
+                "--runs" => {
+                    opts.runs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--runs needs a positive integer");
+                }
+                "--seed" => {
+                    opts.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                other => panic!("unknown argument: {other} (try --quick / --runs N / --seed N)"),
+            }
+        }
+        assert!(opts.runs > 0, "--runs must be positive");
+        opts
+    }
+}
+
+/// Emits one machine-readable data point (JSON-prefixed line).
+pub fn emit_json<T: Serialize>(figure: &str, point: &T) {
+    println!(
+        "JSON {}",
+        serde_json::json!({ "figure": figure, "point": point })
+    );
+}
+
+/// Prints the standard figure banner.
+pub fn banner(figure: &str, description: &str) {
+    println!("== {figure}: {description} ==");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_match_paper_protocol() {
+        let o = RunOptions::parse(&[]);
+        assert_eq!(o.runs, 5);
+        assert!(!o.quick);
+    }
+
+    #[test]
+    fn quick_mode_single_run() {
+        let o = RunOptions::parse(&s(&["--quick"]));
+        assert!(o.quick);
+        assert_eq!(o.runs, 1);
+    }
+
+    #[test]
+    fn explicit_runs_and_seed() {
+        let o = RunOptions::parse(&s(&["--runs", "3", "--seed", "99"]));
+        assert_eq!(o.runs, 3);
+        assert_eq!(o.seed, 99);
+    }
+
+    #[test]
+    fn quick_then_runs_overrides() {
+        let o = RunOptions::parse(&s(&["--quick", "--runs", "2"]));
+        assert!(o.quick);
+        assert_eq!(o.runs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        RunOptions::parse(&s(&["--bogus"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_runs_panics() {
+        RunOptions::parse(&s(&["--runs", "0"]));
+    }
+}

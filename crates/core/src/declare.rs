@@ -1,0 +1,445 @@
+//! The incast programming abstraction (§6, "Proxying incast through
+//! programming abstraction").
+//!
+//! "We need a programming abstraction that allows developers to declare
+//! when their application creates incast-like communication across
+//! components that could be remote. At deployment time, the cloud provider
+//! can use this information to convert an inter-datacenter incast into a
+//! proxy-assisted one, without requiring any changes or permission from
+//! the application."
+//!
+//! Applications describe traffic in terms of **logical components**
+//! ([`IncastDecl`]); the provider supplies the physical placement and the
+//! planner ([`compile`]) resolves each declaration into a concrete routing
+//! decision: direct, or via a proxy allocated through a
+//! [`crate::orchestrator::ProxySelector`] — but only when the
+//! [`crate::predict`] model expects a benefit (§4.2's small incasts stay on
+//! the shortest path). The paper warns that "a poorly designed abstraction
+//! may introduce new semantic violations"; the planner therefore *fails
+//! closed* — any ambiguity (unknown component, sink among sources, missing
+//! placement) is a hard [`PlanError`], never a guess.
+
+use crate::orchestrator::{IncastRequest, ProxySelector};
+use crate::predict::{predict, IncastProfile};
+use dcsim::packet::HostId;
+use dcsim::time::{Bandwidth, SimDuration, PS_PER_US};
+use dcsim::topology::Topology;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// A logical application component (the unit of placement).
+pub type Component = String;
+
+/// A developer's declaration of one incast-prone exchange.
+#[derive(Debug, Clone)]
+pub struct IncastDecl {
+    /// Human-readable name ("moe-dispatch", "shard-rebuild", ...).
+    pub name: String,
+    /// Components that transmit.
+    pub sources: Vec<Component>,
+    /// The component that receives.
+    pub sink: Component,
+    /// Expected bytes per occurrence.
+    pub expected_bytes: u64,
+    /// Expected period between occurrences, if the exchange is periodic
+    /// (lets the operator pre-arm rerouting; see [`crate::detect`]).
+    pub period: Option<SimDuration>,
+}
+
+/// Builder for [`IncastDecl`] — the developer-facing API surface.
+#[derive(Debug, Clone)]
+pub struct IncastDeclBuilder {
+    name: String,
+    sources: Vec<Component>,
+    sink: Option<Component>,
+    expected_bytes: Option<u64>,
+    period: Option<SimDuration>,
+}
+
+impl IncastDecl {
+    /// Starts declaring an incast-prone exchange.
+    pub fn named(name: impl Into<String>) -> IncastDeclBuilder {
+        IncastDeclBuilder {
+            name: name.into(),
+            sources: Vec::new(),
+            sink: None,
+            expected_bytes: None,
+            period: None,
+        }
+    }
+}
+
+impl IncastDeclBuilder {
+    /// Adds a transmitting component.
+    pub fn source(mut self, component: impl Into<Component>) -> Self {
+        self.sources.push(component.into());
+        self
+    }
+
+    /// Adds many transmitting components.
+    pub fn sources<I, C>(mut self, components: I) -> Self
+    where
+        I: IntoIterator<Item = C>,
+        C: Into<Component>,
+    {
+        self.sources.extend(components.into_iter().map(Into::into));
+        self
+    }
+
+    /// Sets the receiving component.
+    pub fn sink(mut self, component: impl Into<Component>) -> Self {
+        self.sink = Some(component.into());
+        self
+    }
+
+    /// Sets the expected bytes per occurrence.
+    pub fn expected_bytes(mut self, bytes: u64) -> Self {
+        self.expected_bytes = Some(bytes);
+        self
+    }
+
+    /// Declares the exchange periodic.
+    pub fn periodic(mut self, period: SimDuration) -> Self {
+        self.period = Some(period);
+        self
+    }
+
+    /// Finalizes the declaration.
+    ///
+    /// # Errors
+    /// Ambiguous declarations are rejected outright (the paper's semantic-
+    /// violation concern): no sources, no sink, sink listed as a source,
+    /// duplicate sources, or missing volume.
+    pub fn build(self) -> Result<IncastDecl, PlanError> {
+        let sink = self.sink.ok_or(PlanError::MissingSink)?;
+        if self.sources.is_empty() {
+            return Err(PlanError::NoSources);
+        }
+        if self.sources.contains(&sink) {
+            return Err(PlanError::SinkIsSource(sink));
+        }
+        let mut dedup = self.sources.clone();
+        dedup.sort();
+        dedup.dedup();
+        if dedup.len() != self.sources.len() {
+            return Err(PlanError::DuplicateSource);
+        }
+        let expected_bytes = self.expected_bytes.ok_or(PlanError::MissingVolume)?;
+        if expected_bytes == 0 {
+            return Err(PlanError::MissingVolume);
+        }
+        Ok(IncastDecl {
+            name: self.name,
+            sources: self.sources,
+            sink,
+            expected_bytes,
+            period: self.period,
+        })
+    }
+}
+
+/// Why a plan could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum PlanError {
+    /// The declaration has no sink.
+    MissingSink,
+    /// The declaration has no sources.
+    NoSources,
+    /// The sink also appears as a source.
+    SinkIsSource(Component),
+    /// A source appears twice.
+    DuplicateSource,
+    /// No expected volume declared.
+    MissingVolume,
+    /// A declared component has no physical placement.
+    Unplaced(Component),
+    /// Sources span multiple datacenters — one proxy cannot cover them;
+    /// the planner refuses rather than silently splitting.
+    SourcesSpanDatacenters,
+    /// The orchestrator had no eligible proxy.
+    NoProxyAvailable,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::MissingSink => write!(f, "declaration has no sink"),
+            PlanError::NoSources => write!(f, "declaration has no sources"),
+            PlanError::SinkIsSource(c) => write!(f, "sink {c:?} also listed as a source"),
+            PlanError::DuplicateSource => write!(f, "duplicate source component"),
+            PlanError::MissingVolume => write!(f, "expected_bytes missing or zero"),
+            PlanError::Unplaced(c) => write!(f, "component {c:?} has no placement"),
+            PlanError::SourcesSpanDatacenters => {
+                write!(f, "sources span multiple datacenters")
+            }
+            PlanError::NoProxyAvailable => write!(f, "no eligible proxy host"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The routing decision for one declared incast.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Routing {
+    /// Same-datacenter or no expected benefit: shortest path.
+    Direct,
+    /// Cross-datacenter with expected benefit: relay via this proxy.
+    ViaProxy(HostId),
+}
+
+/// A compiled deployment decision.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlannedIncast {
+    /// Declaration name.
+    pub name: String,
+    /// Resolved sender hosts.
+    pub senders: Vec<HostId>,
+    /// Resolved receiver host.
+    pub receiver: HostId,
+    /// The routing decision.
+    pub routing: Routing,
+    /// The predictor's estimated completion-time reduction.
+    pub estimated_reduction: f64,
+}
+
+/// Compiles declarations against a placement, deciding per incast whether
+/// to reroute through a proxy (allocated via `selector`).
+pub fn compile(
+    decls: &[IncastDecl],
+    placement: &HashMap<Component, HostId>,
+    topo: &Topology,
+    selector: &mut dyn ProxySelector,
+) -> Result<Vec<PlannedIncast>, PlanError> {
+    let mut plans = Vec::with_capacity(decls.len());
+    for (i, decl) in decls.iter().enumerate() {
+        let resolve = |c: &Component| -> Result<HostId, PlanError> {
+            placement.get(c).copied().ok_or_else(|| PlanError::Unplaced(c.clone()))
+        };
+        let senders: Vec<HostId> = decl.sources.iter().map(resolve).collect::<Result<_, _>>()?;
+        let receiver = resolve(&decl.sink)?;
+
+        let sender_dcs: Vec<_> = senders.iter().map(|&h| topo.host_dc(h)).collect();
+        if sender_dcs.windows(2).any(|w| w[0] != w[1]) {
+            return Err(PlanError::SourcesSpanDatacenters);
+        }
+        let cross_dc = topo.host_dc(receiver) != sender_dcs[0];
+
+        let (routing, estimated_reduction) = if !cross_dc {
+            (Routing::Direct, 0.0)
+        } else {
+            let profile = profile_for(decl, &senders, receiver, topo);
+            let prediction = predict(&profile);
+            if !prediction.use_proxy {
+                (Routing::Direct, prediction.estimated_reduction)
+            } else {
+                let request = IncastRequest {
+                    id: i as u64,
+                    senders: senders.clone(),
+                    receiver,
+                    expected_bytes: decl.expected_bytes,
+                };
+                let assignment = selector.select(&request).ok_or(PlanError::NoProxyAvailable)?;
+                (
+                    Routing::ViaProxy(assignment.proxy),
+                    prediction.estimated_reduction,
+                )
+            }
+        };
+        plans.push(PlannedIncast {
+            name: decl.name.clone(),
+            senders,
+            receiver,
+            routing,
+            estimated_reduction,
+        });
+    }
+    Ok(plans)
+}
+
+fn profile_for(
+    decl: &IncastDecl,
+    senders: &[HostId],
+    receiver: HostId,
+    topo: &Topology,
+) -> IncastProfile {
+    let probe = senders[0];
+    let inter_rtt = topo.base_rtt(probe, receiver, 1500, 64);
+    IncastProfile {
+        total_bytes: decl.expected_bytes,
+        degree: senders.len(),
+        inter_rtt,
+        // A local proxy is a couple of intra-DC hops away.
+        intra_rtt: SimDuration(10 * PS_PER_US),
+        bottleneck: topo.path_bottleneck(probe, receiver),
+        bottleneck_buffer: 17_015_000,
+    }
+}
+
+/// Convenience: bandwidth of the standard evaluation bottleneck. Exposed
+/// for examples that build profiles by hand.
+pub fn default_bottleneck() -> Bandwidth {
+    Bandwidth::gbps(100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orchestrator::GlobalOrchestrator;
+    use dcsim::topology::{two_dc_leaf_spine, TwoDcParams};
+
+    fn decl(bytes: u64) -> IncastDecl {
+        IncastDecl::named("test")
+            .sources(["a", "b", "c", "d"])
+            .sink("agg")
+            .expected_bytes(bytes)
+            .build()
+            .unwrap()
+    }
+
+    fn setup() -> (Topology, HashMap<Component, HostId>, GlobalOrchestrator) {
+        let topo = two_dc_leaf_spine(&TwoDcParams::default());
+        let dc0 = topo.hosts_in_dc(0);
+        let dc1 = topo.hosts_in_dc(1);
+        let placement: HashMap<Component, HostId> = [
+            ("a".to_string(), dc0[0]),
+            ("b".to_string(), dc0[1]),
+            ("c".to_string(), dc0[2]),
+            ("d".to_string(), dc0[3]),
+            ("agg".to_string(), dc1[0]),
+            ("local-agg".to_string(), dc0[4]),
+        ]
+        .into();
+        let orch = GlobalOrchestrator::new(dc0[32..].to_vec());
+        (topo, placement, orch)
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let d = decl(100_000_000);
+        assert_eq!(d.sources.len(), 4);
+        assert_eq!(d.sink, "agg");
+    }
+
+    #[test]
+    fn builder_rejects_ambiguity() {
+        assert_eq!(
+            IncastDecl::named("x").source("a").expected_bytes(1).build().unwrap_err(),
+            PlanError::MissingSink
+        );
+        assert_eq!(
+            IncastDecl::named("x").sink("s").expected_bytes(1).build().unwrap_err(),
+            PlanError::NoSources
+        );
+        assert_eq!(
+            IncastDecl::named("x")
+                .source("s")
+                .sink("s")
+                .expected_bytes(1)
+                .build()
+                .unwrap_err(),
+            PlanError::SinkIsSource("s".into())
+        );
+        assert_eq!(
+            IncastDecl::named("x")
+                .sources(["a", "a"])
+                .sink("s")
+                .expected_bytes(1)
+                .build()
+                .unwrap_err(),
+            PlanError::DuplicateSource
+        );
+        assert_eq!(
+            IncastDecl::named("x").source("a").sink("s").build().unwrap_err(),
+            PlanError::MissingVolume
+        );
+    }
+
+    #[test]
+    fn cross_dc_large_incast_gets_proxy() {
+        let (topo, placement, mut orch) = setup();
+        let plans = compile(&[decl(100_000_000)], &placement, &topo, &mut orch).unwrap();
+        assert_eq!(plans.len(), 1);
+        match plans[0].routing {
+            Routing::ViaProxy(p) => {
+                assert_eq!(topo.host_dc(p), Some(0), "proxy in the senders' DC");
+            }
+            ref other => panic!("expected proxy routing, got {other:?}"),
+        }
+        assert!(plans[0].estimated_reduction > 0.0);
+    }
+
+    #[test]
+    fn cross_dc_small_incast_stays_direct() {
+        let (topo, placement, mut orch) = setup();
+        let plans = compile(&[decl(20_000_000)], &placement, &topo, &mut orch).unwrap();
+        assert_eq!(plans[0].routing, Routing::Direct, "§4.2: 20 MB gains nothing");
+    }
+
+    #[test]
+    fn same_dc_incast_stays_direct() {
+        let (topo, mut placement, mut orch) = setup();
+        // Move the sink into DC 0.
+        let local = placement["local-agg"];
+        placement.insert("agg".to_string(), local);
+        let plans = compile(&[decl(100_000_000)], &placement, &topo, &mut orch).unwrap();
+        assert_eq!(plans[0].routing, Routing::Direct);
+    }
+
+    #[test]
+    fn unplaced_component_fails_closed() {
+        let (topo, mut placement, mut orch) = setup();
+        placement.remove("c");
+        let err = compile(&[decl(1_000_000)], &placement, &topo, &mut orch).unwrap_err();
+        assert_eq!(err, PlanError::Unplaced("c".into()));
+    }
+
+    #[test]
+    fn spanning_sources_fail_closed() {
+        let (topo, mut placement, mut orch) = setup();
+        let far = topo.hosts_in_dc(1)[5];
+        placement.insert("d".to_string(), far);
+        let err = compile(&[decl(100_000_000)], &placement, &topo, &mut orch).unwrap_err();
+        assert_eq!(err, PlanError::SourcesSpanDatacenters);
+    }
+
+    #[test]
+    fn concurrent_declarations_get_distinct_proxies() {
+        let (topo, mut placement, mut orch) = setup();
+        let dc0 = topo.hosts_in_dc(0);
+        let dc1 = topo.hosts_in_dc(1);
+        for (i, c) in ["e", "f", "g", "h"].iter().enumerate() {
+            placement.insert(c.to_string(), dc0[8 + i]);
+        }
+        placement.insert("agg2".to_string(), dc1[1]);
+        let d1 = decl(100_000_000);
+        let d2 = IncastDecl::named("second")
+            .sources(["e", "f", "g", "h"])
+            .sink("agg2")
+            .expected_bytes(100_000_000)
+            .build()
+            .unwrap();
+        let plans = compile(&[d1, d2], &placement, &topo, &mut orch).unwrap();
+        let proxies: Vec<_> = plans
+            .iter()
+            .filter_map(|p| match p.routing {
+                Routing::ViaProxy(h) => Some(h),
+                Routing::Direct => None,
+            })
+            .collect();
+        assert_eq!(proxies.len(), 2);
+        assert_ne!(proxies[0], proxies[1], "orchestrator avoids contention");
+    }
+
+    #[test]
+    fn periodic_metadata_is_preserved() {
+        let d = IncastDecl::named("sync")
+            .sources(["a", "b"])
+            .sink("s")
+            .expected_bytes(1)
+            .periodic(SimDuration::from_millis(250))
+            .build()
+            .unwrap();
+        assert_eq!(d.period, Some(SimDuration::from_millis(250)));
+    }
+}

@@ -1,0 +1,46 @@
+//! # incast-core — inter-datacenter incast mitigation with a proxy
+//!
+//! Library reproduction of *Mitigating Inter-datacenter Incast with a
+//! Proxy: The shortest path is not necessarily the fastest* (HotNets '25).
+//!
+//! The paper's proposition: route inter-datacenter incast traffic through a
+//! proxy in the **sending** datacenter. The extra hop shifts the congestion
+//! bottleneck from the receiver's down-ToR (milliseconds of feedback delay
+//! away) to the proxy's down-ToR (microseconds away), letting senders
+//! converge quickly to the bottleneck rate.
+//!
+//! What lives here:
+//!
+//! * [`scheme`] — the three evaluation schemes (Baseline, Proxy Naive,
+//!   Proxy Streamlined) wired onto the `dcsim` simulator.
+//! * [`experiment`] — the seeded experiment harness behind every figure.
+//! * [`orchestrator`] — proxy selection across concurrent incasts
+//!   (§5 Future work #3): a global orchestrator and a decentralized
+//!   trial-based variant.
+//! * [`lossdetect`] — reorder-tolerant packet-loss tracking without switch
+//!   trimming support (§5 Future work #1), with bounded memory.
+//! * [`declare`] — the programming abstraction of §6: applications declare
+//!   incast-prone communication; a deployment planner converts declarations
+//!   into proxy-assisted routings.
+//! * [`detect`] — pattern-aware incast detection of §6: periodicity
+//!   detection over per-destination traffic counts for third-party apps.
+//! * [`predict`] — the "should this incast use a proxy?" benefit predictor
+//!   (§5 FW#3 notes not all incasts benefit; §4.2 shows the 20 MB case).
+//! * [`proxy_detect`] — Future Work #1 implemented: a trimming-free proxy
+//!   that infers losses from sequence gaps (declare-on-evict, quiescence
+//!   sweeps, exponential-backoff re-NACKs).
+//! * [`runtime`] — the §6 operator control loop: observe traffic, detect,
+//!   predict, allocate, pre-arm, release — epoch by epoch.
+
+pub mod declare;
+pub mod detect;
+pub mod experiment;
+pub mod lossdetect;
+pub mod orchestrator;
+pub mod predict;
+pub mod proxy_detect;
+pub mod runtime;
+pub mod scheme;
+
+pub use experiment::{run_incast, run_repeated, ExperimentConfig, IncastOutcome};
+pub use scheme::{install_incast, IncastHandle, IncastSpec, Scheme};

@@ -1,0 +1,354 @@
+//! Proxy orchestration across concurrent incasts (§5, Future work #3).
+//!
+//! "The proxy needs to be selected quickly and avoid contention with other
+//! incasts. It can be selected either by a global orchestrator, which
+//! requires frequent updates on proxy status, or in a decentralized manner
+//! with repeated trials by individual incast."
+//!
+//! Both designs are implemented behind one trait:
+//!
+//! * [`GlobalOrchestrator`] — a central allocator with a complete load
+//!   view; picks the least-loaded eligible proxy, O(candidates) per
+//!   request, zero conflicts by construction.
+//! * [`DecentralizedSelector`] — each incast probes `k` random candidates
+//!   (power-of-k-choices) and claims the least loaded; claims can conflict
+//!   under stale views, counted and retried.
+
+use dcsim::packet::HostId;
+use serde::Serialize;
+use std::collections::HashMap;
+use trace::SplitMix64;
+
+/// A request to allocate a proxy for one incast.
+#[derive(Debug, Clone)]
+pub struct IncastRequest {
+    /// Caller-chosen identifier (unique per active incast).
+    pub id: u64,
+    /// The incast senders; the proxy must not be one of them.
+    pub senders: Vec<HostId>,
+    /// The remote receiver (informational; never eligible).
+    pub receiver: HostId,
+    /// Expected total bytes — the load the proxy will carry.
+    pub expected_bytes: u64,
+}
+
+/// Outcome of a selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Assignment {
+    /// The chosen proxy host.
+    pub proxy: HostId,
+    /// Probe/claim attempts it took (1 for the global orchestrator).
+    pub trials: u32,
+}
+
+/// Common interface of both orchestration designs.
+pub trait ProxySelector {
+    /// Allocates a proxy for `request`, or `None` if no candidate is
+    /// eligible.
+    fn select(&mut self, request: &IncastRequest) -> Option<Assignment>;
+
+    /// Releases the allocation of a finished incast. Unknown ids are
+    /// ignored (release is idempotent).
+    fn release(&mut self, id: u64);
+
+    /// Current load (bytes of active incasts) on a proxy candidate.
+    fn load_of(&self, proxy: HostId) -> u64;
+}
+
+fn eligible(candidate: HostId, request: &IncastRequest) -> bool {
+    candidate != request.receiver && !request.senders.contains(&candidate)
+}
+
+/// Central allocator with a complete, always-fresh load view.
+#[derive(Debug, Clone)]
+pub struct GlobalOrchestrator {
+    /// Candidate proxy hosts (all in the sending datacenter).
+    candidates: Vec<HostId>,
+    /// Load per candidate (bytes across active incasts).
+    load: HashMap<HostId, u64>,
+    /// Active assignment per incast id.
+    active: HashMap<u64, (HostId, u64)>,
+}
+
+impl GlobalOrchestrator {
+    /// Creates an orchestrator over the given candidate set.
+    ///
+    /// # Panics
+    /// Panics on an empty candidate set or duplicates.
+    pub fn new(candidates: Vec<HostId>) -> Self {
+        assert!(!candidates.is_empty(), "no proxy candidates");
+        let mut dedup = candidates.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), candidates.len(), "duplicate candidates");
+        let load = candidates.iter().map(|&c| (c, 0)).collect();
+        GlobalOrchestrator {
+            candidates,
+            load,
+            active: HashMap::new(),
+        }
+    }
+
+    /// Number of incasts currently assigned.
+    pub fn active_incasts(&self) -> usize {
+        self.active.len()
+    }
+}
+
+impl ProxySelector for GlobalOrchestrator {
+    fn select(&mut self, request: &IncastRequest) -> Option<Assignment> {
+        assert!(
+            !self.active.contains_key(&request.id),
+            "incast {} already has a proxy",
+            request.id
+        );
+        let best = self
+            .candidates
+            .iter()
+            .filter(|&&c| eligible(c, request))
+            .min_by_key(|&&c| (self.load[&c], c.0))?;
+        let proxy = *best;
+        *self.load.get_mut(&proxy).expect("known candidate") += request.expected_bytes;
+        self.active.insert(request.id, (proxy, request.expected_bytes));
+        Some(Assignment { proxy, trials: 1 })
+    }
+
+    fn release(&mut self, id: u64) {
+        if let Some((proxy, bytes)) = self.active.remove(&id) {
+            let l = self.load.get_mut(&proxy).expect("known candidate");
+            *l = l.saturating_sub(bytes);
+        }
+    }
+
+    fn load_of(&self, proxy: HostId) -> u64 {
+        self.load.get(&proxy).copied().unwrap_or(0)
+    }
+}
+
+/// Decentralized selection: probe `k` random candidates, claim the least
+/// loaded. A claim conflicts when another incast claimed the same proxy
+/// since the probe (modelled by a configurable conflict probability that
+/// stands in for update-propagation staleness); conflicts retry with fresh
+/// probes, which is the communication overhead the paper warns about.
+#[derive(Debug, Clone)]
+pub struct DecentralizedSelector {
+    candidates: Vec<HostId>,
+    load: HashMap<HostId, u64>,
+    active: HashMap<u64, (HostId, u64)>,
+    /// Number of candidates probed per trial (power of k choices).
+    probes_per_trial: usize,
+    /// Probability that a concurrent claim races ours.
+    conflict_probability: f64,
+    rng: SplitMix64,
+    /// Total conflicts observed (for the orchestration ablation).
+    pub conflicts: u64,
+}
+
+impl DecentralizedSelector {
+    /// Creates a selector probing `probes_per_trial` candidates per trial.
+    ///
+    /// # Panics
+    /// Panics on an empty candidate set or `probes_per_trial == 0`.
+    pub fn new(candidates: Vec<HostId>, probes_per_trial: usize, seed: u64) -> Self {
+        assert!(!candidates.is_empty(), "no proxy candidates");
+        assert!(probes_per_trial > 0, "need at least one probe per trial");
+        let load = candidates.iter().map(|&c| (c, 0)).collect();
+        DecentralizedSelector {
+            candidates,
+            load,
+            active: HashMap::new(),
+            probes_per_trial,
+            conflict_probability: 0.0,
+            rng: SplitMix64::new(seed),
+            conflicts: 0,
+        }
+    }
+
+    /// Sets the probability that a claim races a concurrent incast's claim
+    /// and must retry (0.0 ..= 1.0).
+    pub fn with_conflict_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.conflict_probability = p;
+        self
+    }
+
+    fn probe(&mut self, request: &IncastRequest) -> Option<HostId> {
+        let eligible: Vec<HostId> = self
+            .candidates
+            .iter()
+            .copied()
+            .filter(|&c| eligible(c, request))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let mut best: Option<HostId> = None;
+        for _ in 0..self.probes_per_trial.min(eligible.len()) {
+            let pick = eligible[self.rng.next_bounded(eligible.len() as u64) as usize];
+            match best {
+                None => best = Some(pick),
+                Some(b) if self.load[&pick] < self.load[&b] => best = Some(pick),
+                _ => {}
+            }
+        }
+        best
+    }
+}
+
+impl ProxySelector for DecentralizedSelector {
+    fn select(&mut self, request: &IncastRequest) -> Option<Assignment> {
+        assert!(
+            !self.active.contains_key(&request.id),
+            "incast {} already has a proxy",
+            request.id
+        );
+        const MAX_TRIALS: u32 = 16;
+        for trial in 1..=MAX_TRIALS {
+            let proxy = self.probe(request)?;
+            // A conflicting concurrent claim forces a retry (except on the
+            // final trial, where we accept the contention — liveness over
+            // optimality, as a real deployment would).
+            if trial < MAX_TRIALS && self.rng.next_f64() < self.conflict_probability {
+                self.conflicts += 1;
+                continue;
+            }
+            *self.load.get_mut(&proxy).expect("known candidate") += request.expected_bytes;
+            self.active.insert(request.id, (proxy, request.expected_bytes));
+            return Some(Assignment { proxy, trials: trial });
+        }
+        unreachable!("loop always returns by the final trial");
+    }
+
+    fn release(&mut self, id: u64) {
+        if let Some((proxy, bytes)) = self.active.remove(&id) {
+            let l = self.load.get_mut(&proxy).expect("known candidate");
+            *l = l.saturating_sub(bytes);
+        }
+    }
+
+    fn load_of(&self, proxy: HostId) -> u64 {
+        self.load.get(&proxy).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(n: u32) -> Vec<HostId> {
+        (0..n).map(HostId).collect()
+    }
+
+    fn request(id: u64, bytes: u64) -> IncastRequest {
+        IncastRequest {
+            id,
+            senders: vec![HostId(100), HostId(101)],
+            receiver: HostId(200),
+            expected_bytes: bytes,
+        }
+    }
+
+    #[test]
+    fn global_picks_least_loaded() {
+        let mut orch = GlobalOrchestrator::new(hosts(3));
+        let a = orch.select(&request(1, 100)).unwrap();
+        let b = orch.select(&request(2, 100)).unwrap();
+        let c = orch.select(&request(3, 100)).unwrap();
+        // Three equal incasts spread over three proxies.
+        let mut proxies = vec![a.proxy, b.proxy, c.proxy];
+        proxies.sort_unstable();
+        proxies.dedup();
+        assert_eq!(proxies.len(), 3, "no contention with spare capacity");
+        assert_eq!(a.trials, 1);
+    }
+
+    #[test]
+    fn global_balances_unequal_loads() {
+        let mut orch = GlobalOrchestrator::new(hosts(2));
+        orch.select(&request(1, 1000)).unwrap();
+        let small = orch.select(&request(2, 10)).unwrap();
+        let next = orch.select(&request(3, 10)).unwrap();
+        // The third goes where the small one went (10 < 1000).
+        assert_eq!(next.proxy, small.proxy);
+    }
+
+    #[test]
+    fn global_release_frees_load() {
+        let mut orch = GlobalOrchestrator::new(hosts(1));
+        let a = orch.select(&request(1, 500)).unwrap();
+        assert_eq!(orch.load_of(a.proxy), 500);
+        orch.release(1);
+        assert_eq!(orch.load_of(a.proxy), 0);
+        assert_eq!(orch.active_incasts(), 0);
+        orch.release(1); // Idempotent.
+    }
+
+    #[test]
+    fn global_excludes_senders_and_receiver() {
+        let mut orch = GlobalOrchestrator::new(vec![HostId(100), HostId(200), HostId(5)]);
+        let a = orch.select(&request(1, 1)).unwrap();
+        assert_eq!(a.proxy, HostId(5), "senders/receiver ineligible");
+    }
+
+    #[test]
+    fn global_none_when_no_eligible() {
+        let mut orch = GlobalOrchestrator::new(vec![HostId(100)]);
+        assert!(orch.select(&request(1, 1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a proxy")]
+    fn global_double_select_panics() {
+        let mut orch = GlobalOrchestrator::new(hosts(2));
+        orch.select(&request(1, 1)).unwrap();
+        orch.select(&request(1, 1)).unwrap();
+    }
+
+    #[test]
+    fn decentralized_selects_and_releases() {
+        let mut sel = DecentralizedSelector::new(hosts(8), 2, 7);
+        let a = sel.select(&request(1, 100)).unwrap();
+        assert!(a.proxy.0 < 8);
+        assert_eq!(sel.load_of(a.proxy), 100);
+        sel.release(1);
+        assert_eq!(sel.load_of(a.proxy), 0);
+    }
+
+    #[test]
+    fn decentralized_conflicts_force_retries() {
+        let mut sel = DecentralizedSelector::new(hosts(8), 2, 7).with_conflict_probability(0.5);
+        let mut total_trials = 0;
+        for id in 0..100 {
+            let a = sel.select(&request(id, 10)).unwrap();
+            total_trials += a.trials;
+        }
+        assert!(sel.conflicts > 0, "p=0.5 must cause conflicts");
+        // Expected trials per select ≈ 1/(1-p) = 2.
+        assert!(total_trials > 120, "trials={total_trials}");
+        assert_eq!(sel.conflicts as u32, total_trials - 100);
+    }
+
+    #[test]
+    fn decentralized_always_terminates_under_certain_conflict() {
+        let mut sel = DecentralizedSelector::new(hosts(4), 2, 3).with_conflict_probability(1.0);
+        let a = sel.select(&request(1, 10)).unwrap();
+        assert_eq!(a.trials, 16, "accepts contention on the final trial");
+    }
+
+    #[test]
+    fn decentralized_spreads_load_with_two_choices() {
+        let mut sel = DecentralizedSelector::new(hosts(16), 2, 11);
+        for id in 0..160 {
+            sel.select(&request(id, 1)).unwrap();
+        }
+        let max_load = (0..16).map(|i| sel.load_of(HostId(i))).max().unwrap();
+        // Power-of-two-choices keeps the max far below worst-case 160.
+        assert!(max_load <= 20, "max_load={max_load}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no proxy candidates")]
+    fn empty_candidates_panics() {
+        GlobalOrchestrator::new(vec![]);
+    }
+}

@@ -1,0 +1,519 @@
+//! The three evaluation schemes of §4.1 and their wiring into the
+//! simulator.
+//!
+//! * **Baseline** — every sender opens a direct end-to-end connection to
+//!   the remote receiver.
+//! * **Proxy (Naive)** — two connections per sender: sender→proxy
+//!   (intra-DC) terminated by a full receiver at the proxy, and
+//!   proxy→receiver (long-haul) fed packet-by-packet by the ingress side.
+//! * **Proxy (Streamlined)** — one end-to-end connection per sender routed
+//!   through the proxy, which converts trimmed headers into immediate
+//!   NACKs and forwards everything else.
+
+use dcsim::flows::cc_for_path;
+use dcsim::prelude::*;
+use dcsim::protocol::{RateCcConfig, RateSender};
+use serde::{Deserialize, Serialize};
+
+/// Which transport the incast senders run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transport {
+    /// The paper's window-based DCTCP-like sender (§4.1).
+    WindowedDctcp,
+    /// A rate-based, loss-resilient sender (BBR-flavoured; §5 FW#1 points
+    /// at BBR's loss resilience as a relevant interaction). Applies to
+    /// the incast senders; the Naive scheme's proxy→receiver relay leg
+    /// stays windowed regardless, since it is grant-clocked by the
+    /// ingress side rather than self-clocked.
+    RateBased,
+}
+
+/// Which §4.1 scheme an incast runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Direct sender→receiver connections.
+    Baseline,
+    /// Split connections through a full relay at the proxy.
+    ProxyNaive,
+    /// Trim/NACK forwarding proxy on the end-to-end path.
+    ProxyStreamlined,
+    /// Streamlined variant for drop-tail networks: the proxy infers loss
+    /// from sequence gaps instead of trimmed headers (§5 Future Work #1;
+    /// see [`crate::proxy_detect::DetectingProxy`]). Not part of the
+    /// paper's evaluation — exercised by `ablation_detector_proxy`.
+    ProxyDetecting,
+}
+
+impl Scheme {
+    /// The paper's three evaluated schemes, in presentation order.
+    pub const ALL: [Scheme; 3] = [Scheme::Baseline, Scheme::ProxyNaive, Scheme::ProxyStreamlined];
+
+    /// The paper's schemes plus the FW#1 detector-based proxy.
+    pub const EXTENDED: [Scheme; 4] = [
+        Scheme::Baseline,
+        Scheme::ProxyNaive,
+        Scheme::ProxyStreamlined,
+        Scheme::ProxyDetecting,
+    ];
+
+    /// True for the two proxy schemes.
+    pub fn uses_proxy(&self) -> bool {
+        !matches!(self, Scheme::Baseline)
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Baseline => "Baseline",
+            Scheme::ProxyNaive => "Proxy (Naive)",
+            Scheme::ProxyStreamlined => "Proxy (Streamlined)",
+            Scheme::ProxyDetecting => "Proxy (Detecting)",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One incast to install: `senders` transmit `total_bytes` (split equally)
+/// to `receiver`, optionally via `proxy`.
+#[derive(Debug, Clone)]
+pub struct IncastSpec {
+    /// The incast senders (same datacenter for proxy schemes).
+    pub senders: Vec<HostId>,
+    /// The remote receiver.
+    pub receiver: HostId,
+    /// The proxy host (required by proxy schemes; must not be a sender).
+    pub proxy: Option<HostId>,
+    /// Total incast bytes, split equally across senders (remainder spread
+    /// over the first senders, as equal as possible).
+    pub total_bytes: u64,
+    /// When the senders start (simultaneously, as in the paper).
+    pub start: SimTime,
+    /// Per-packet processing delay of the Streamlined proxy datapath
+    /// (Fig. 5a measures a median of 0.42 µs on the paper's prototype).
+    pub streamlined_delay: SimDuration,
+    /// Scale factor on every sender's initial window (1.0 = the paper's
+    /// 1 BDP; swept by the `ablation_initwnd` study of §2's first-RTT
+    /// overload argument).
+    pub iw_scale: f64,
+    /// When false, the Streamlined proxy merely relays (no early NACKs) —
+    /// Insight #2's strawman, swept by `ablation_relay_only`.
+    pub early_nack: bool,
+    /// ECN response of every sender (default: true DCTCP α; the
+    /// `ablation_cc_response` study compares against plain halving).
+    pub ecn_response: dcsim::protocol::dctcp::EcnResponse,
+    /// Loss-detector configuration for the [`Scheme::ProxyDetecting`]
+    /// variant (ignored by the other schemes).
+    pub detector: crate::lossdetect::LossDetectorConfig,
+    /// Sender transport (the paper's windowed DCTCP-like by default).
+    pub transport: Transport,
+}
+
+impl IncastSpec {
+    /// An incast with the paper's defaults (simultaneous start, 0.42 µs
+    /// streamlined proxy processing delay).
+    pub fn new(senders: Vec<HostId>, receiver: HostId, total_bytes: u64) -> Self {
+        IncastSpec {
+            senders,
+            receiver,
+            proxy: None,
+            total_bytes,
+            start: SimTime::ZERO,
+            streamlined_delay: SimDuration(420_000), // 0.42 µs
+            iw_scale: 1.0,
+            early_nack: true,
+            ecn_response: dcsim::protocol::dctcp::EcnResponse::default(),
+            detector: crate::lossdetect::LossDetectorConfig::default(),
+            transport: Transport::WindowedDctcp,
+        }
+    }
+
+    /// Sets the proxy host.
+    pub fn with_proxy(mut self, proxy: HostId) -> Self {
+        self.proxy = Some(proxy);
+        self
+    }
+
+    /// Sets the start time.
+    pub fn with_start(mut self, start: SimTime) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Bytes assigned to sender `i` (equal split, remainder to the first
+    /// senders).
+    pub fn bytes_for_sender(&self, i: usize) -> u64 {
+        let n = self.senders.len() as u64;
+        let base = self.total_bytes / n;
+        let extra = self.total_bytes % n;
+        base + u64::from((i as u64) < extra)
+    }
+}
+
+/// Handles to an installed incast.
+#[derive(Debug, Clone)]
+pub struct IncastHandle {
+    /// The scheme the incast was installed under.
+    pub scheme: Scheme,
+    /// Flows whose collective completion defines the incast completion
+    /// time (the receiver-side flows).
+    pub watch_flows: Vec<FlowId>,
+    /// Every flow created for the incast (includes the sender→proxy legs
+    /// of the Naive scheme).
+    pub all_flows: Vec<FlowId>,
+    /// Start time of the incast.
+    pub start: SimTime,
+}
+
+impl IncastHandle {
+    /// Incast completion time: latest receiver-side completion minus the
+    /// start time. `None` while any watched flow is unfinished.
+    pub fn completion(&self, metrics: &SimMetrics) -> Option<SimDuration> {
+        metrics
+            .completion_of_all(&self.watch_flows)
+            .map(|t| t.since(self.start))
+    }
+}
+
+fn validate(spec: &IncastSpec, scheme: Scheme, topo: &Topology) {
+    assert!(!spec.senders.is_empty(), "incast needs at least one sender");
+    assert!(spec.total_bytes > 0, "incast needs at least one byte");
+    assert!(
+        !spec.senders.contains(&spec.receiver),
+        "receiver cannot be a sender"
+    );
+    let mut dedup = spec.senders.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), spec.senders.len(), "duplicate senders");
+    if scheme.uses_proxy() {
+        let proxy = spec.proxy.expect("proxy schemes require a proxy host");
+        assert!(!spec.senders.contains(&proxy), "proxy cannot be a sender");
+        assert_ne!(proxy, spec.receiver, "proxy cannot be the receiver");
+        // The whole point of the design: the proxy sits in the senders'
+        // datacenter.
+        if let (Some(pdc), Some(sdc)) = (topo.host_dc(proxy), topo.host_dc(spec.senders[0])) {
+            assert_eq!(pdc, sdc, "proxy must be in the senders' datacenter");
+        }
+    }
+}
+
+/// Installs an incast under `scheme`, returning the flows to watch.
+pub fn install_incast(sim: &mut Simulator, spec: &IncastSpec, scheme: Scheme) -> IncastHandle {
+    validate(spec, scheme, sim.topology());
+    match scheme {
+        Scheme::Baseline => install_baseline(sim, spec),
+        Scheme::ProxyNaive => install_naive(sim, spec),
+        Scheme::ProxyStreamlined => install_streamlined(sim, spec),
+        Scheme::ProxyDetecting => install_detecting(sim, spec),
+    }
+}
+
+/// Installs the FW#1 detector-based proxy variant: identical wiring to
+/// Streamlined, but the proxy infers losses from sequence gaps (works on
+/// drop-tail networks).
+fn install_detecting(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
+    let proxy_host = spec.proxy.expect("validated");
+    let mut proxy =
+        crate::proxy_detect::DetectingProxy::new(proxy_host, spec.streamlined_delay, spec.detector);
+    let mut flows = Vec::new();
+    for (i, &src) in spec.senders.iter().enumerate() {
+        let flow = sim.new_flow();
+        proxy.register(flow, src, spec.receiver);
+        flows.push((flow, src, spec.bytes_for_sender(i)));
+    }
+    let proxy_agent = sim.add_agent(Box::new(proxy));
+    let mut watch = Vec::new();
+    for (flow, src, bytes) in flows {
+        let packets = packets_for_bytes(bytes);
+        let cc = tune_cc(cc_via_proxy(sim, src, proxy_host, spec.receiver), spec);
+        let sender = sim.add_agent(make_sender(spec, flow, src, proxy_host, packets, cc));
+        let receiver = sim.add_agent(Box::new(
+            Receiver::new(flow, spec.receiver, packets).with_reply_via(proxy_host),
+        ));
+        sim.bind(flow, src, sender);
+        sim.bind(flow, proxy_host, proxy_agent);
+        sim.bind(flow, spec.receiver, receiver);
+        sim.schedule_start(spec.start, sender);
+        watch.push(flow);
+    }
+    IncastHandle {
+        scheme: Scheme::ProxyDetecting,
+        watch_flows: watch.clone(),
+        all_flows: watch,
+        start: spec.start,
+    }
+}
+
+/// Applies the spec's CC overrides (IW scale, ECN response) to a derived
+/// per-path config.
+fn tune_cc(mut cc: CcConfig, spec: &IncastSpec) -> CcConfig {
+    cc.init_cwnd_bytes = ((cc.init_cwnd_bytes as f64 * spec.iw_scale) as u64).max(DATA_PKT_SIZE);
+    cc.ecn_response = spec.ecn_response;
+    cc
+}
+
+/// Builds the sender agent for the spec's transport choice.
+fn make_sender(
+    spec: &IncastSpec,
+    flow: FlowId,
+    src: HostId,
+    to: HostId,
+    packets: u64,
+    cc: CcConfig,
+) -> Box<dyn dcsim::agent::Agent> {
+    match spec.transport {
+        Transport::WindowedDctcp => Box::new(DctcpSender::new(flow, src, to, packets, cc)),
+        Transport::RateBased => {
+            let rate_cc = RateCcConfig::for_path(cc.base_feedback_delay, Bandwidth::gbps(100));
+            Box::new(RateSender::new(flow, src, to, packets, rate_cc))
+        }
+    }
+}
+
+fn install_baseline(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
+    let mut watch = Vec::new();
+    for (i, &src) in spec.senders.iter().enumerate() {
+        let bytes = spec.bytes_for_sender(i);
+        let packets = packets_for_bytes(bytes);
+        let cc = tune_cc(cc_for_path(sim, src, spec.receiver), spec);
+        let flow = sim.new_flow();
+        let sender = sim.add_agent(make_sender(spec, flow, src, spec.receiver, packets, cc));
+        let receiver = sim.add_agent(Box::new(Receiver::new(flow, spec.receiver, packets)));
+        sim.bind(flow, src, sender);
+        sim.bind(flow, spec.receiver, receiver);
+        sim.schedule_start(spec.start, sender);
+        watch.push(flow);
+    }
+    IncastHandle {
+        scheme: Scheme::Baseline,
+        watch_flows: watch.clone(),
+        all_flows: watch,
+        start: spec.start,
+    }
+}
+
+fn install_streamlined(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
+    let proxy_host = spec.proxy.expect("validated");
+    let mut proxy = StreamlinedProxy::new(proxy_host, spec.streamlined_delay);
+    if !spec.early_nack {
+        proxy = proxy.relay_only();
+    }
+    // Reserve flow ids and register them with the proxy first, then add the
+    // proxy agent, then bind everything.
+    let mut flows = Vec::new();
+    for (i, &src) in spec.senders.iter().enumerate() {
+        let flow = sim.new_flow();
+        proxy.register(flow, src, spec.receiver);
+        flows.push((flow, src, spec.bytes_for_sender(i)));
+    }
+    let proxy_agent = sim.add_agent(Box::new(proxy));
+    let mut watch = Vec::new();
+    for (flow, src, bytes) in flows {
+        let packets = packets_for_bytes(bytes);
+        // End-to-end connection: 1 BDP of the full (via-proxy) path, RTO
+        // scaled to the end-to-end RTT.
+        let cc = tune_cc(cc_via_proxy(sim, src, proxy_host, spec.receiver), spec);
+        let sender = sim.add_agent(make_sender(spec, flow, src, proxy_host, packets, cc));
+        let receiver = sim.add_agent(Box::new(
+            Receiver::new(flow, spec.receiver, packets).with_reply_via(proxy_host),
+        ));
+        sim.bind(flow, src, sender);
+        sim.bind(flow, proxy_host, proxy_agent);
+        sim.bind(flow, spec.receiver, receiver);
+        sim.schedule_start(spec.start, sender);
+        watch.push(flow);
+    }
+    IncastHandle {
+        scheme: Scheme::ProxyStreamlined,
+        watch_flows: watch.clone(),
+        all_flows: watch,
+        start: spec.start,
+    }
+}
+
+/// Congestion-control parameters for the end-to-end path routed via the
+/// proxy: base RTT and BDP are the sums over both legs.
+fn cc_via_proxy(sim: &Simulator, src: HostId, proxy: HostId, dst: HostId) -> CcConfig {
+    let topo = sim.topology();
+    let rtt = topo.base_rtt(src, proxy, DATA_PKT_SIZE, HEADER_SIZE)
+        + topo.base_rtt(proxy, dst, DATA_PKT_SIZE, HEADER_SIZE);
+    let bottleneck = topo
+        .path_bottleneck(src, proxy)
+        .min(topo.path_bottleneck(proxy, dst));
+    CcConfig::for_rtt(rtt, bottleneck.bdp_bytes(rtt))
+}
+
+fn install_naive(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
+    let proxy_host = spec.proxy.expect("validated");
+    let mut watch = Vec::new();
+    let mut all = Vec::new();
+    for (i, &src) in spec.senders.iter().enumerate() {
+        let bytes = spec.bytes_for_sender(i);
+        let packets = packets_for_bytes(bytes);
+
+        // Leg B: proxy → receiver, granted packet-by-packet by leg A's
+        // ingress. Created first so the ingress can hold its agent id.
+        let flow_b = sim.new_flow();
+        let cc_b = tune_cc(cc_for_path(sim, proxy_host, spec.receiver), spec);
+        let relay = sim.add_agent(Box::new(DctcpSender::relay(
+            flow_b, proxy_host, spec.receiver, packets, cc_b,
+        )));
+        let recv_b = sim.add_agent(Box::new(Receiver::new(flow_b, spec.receiver, packets)));
+        sim.bind(flow_b, proxy_host, relay);
+        sim.bind(flow_b, spec.receiver, recv_b);
+        sim.schedule_start(spec.start, relay);
+
+        // Leg A: sender → proxy, a full intra-DC connection.
+        let flow_a = sim.new_flow();
+        let cc_a = tune_cc(cc_for_path(sim, src, proxy_host), spec);
+        let sender = sim.add_agent(make_sender(spec, flow_a, src, proxy_host, packets, cc_a));
+        let ingress = sim.add_agent(Box::new(
+            Receiver::new(flow_a, proxy_host, packets).with_grants_to(relay),
+        ));
+        sim.bind(flow_a, src, sender);
+        sim.bind(flow_a, proxy_host, ingress);
+        sim.schedule_start(spec.start, sender);
+
+        watch.push(flow_b);
+        all.push(flow_a);
+        all.push(flow_b);
+    }
+    IncastHandle {
+        scheme: Scheme::ProxyNaive,
+        watch_flows: watch,
+        all_flows: all,
+        start: spec.start,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> Simulator {
+        Simulator::new(two_dc_leaf_spine(&TwoDcParams::small_test()), 11)
+    }
+
+    fn spec(sim: &Simulator, degree: usize, bytes: u64) -> IncastSpec {
+        let topo = sim.topology();
+        let dc0 = topo.hosts_in_dc(0);
+        let dc1 = topo.hosts_in_dc(1);
+        IncastSpec::new(dc0[..degree].to_vec(), dc1[0], bytes).with_proxy(*dc0.last().unwrap())
+    }
+
+    #[test]
+    fn bytes_split_equally_with_remainder() {
+        let s = IncastSpec::new(vec![HostId(0), HostId(1), HostId(2)], HostId(9), 10);
+        assert_eq!(s.bytes_for_sender(0), 4);
+        assert_eq!(s.bytes_for_sender(1), 3);
+        assert_eq!(s.bytes_for_sender(2), 3);
+        let total: u64 = (0..3).map(|i| s.bytes_for_sender(i)).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn baseline_completes() {
+        let mut s = sim();
+        let spec = spec(&s, 3, 600_000);
+        let h = install_incast(&mut s, &spec, Scheme::Baseline);
+        assert_eq!(h.watch_flows.len(), 3);
+        let r = s.run(Some(SimTime::ZERO + SimDuration::from_secs(30)));
+        assert_eq!(r.stop, StopReason::Idle, "{r:?}");
+        assert!(h.completion(s.metrics()).is_some());
+    }
+
+    #[test]
+    fn streamlined_completes_and_proxy_nacks_on_congestion() {
+        let mut s = sim();
+        // Large enough to overflow the proxy down-ToR queue.
+        let spec = spec(&s, 3, 60_000_000);
+        let h = install_incast(&mut s, &spec, Scheme::ProxyStreamlined);
+        let r = s.run(Some(SimTime::ZERO + SimDuration::from_secs(60)));
+        assert_eq!(r.stop, StopReason::Idle, "{r:?}");
+        assert!(h.completion(s.metrics()).is_some());
+        assert!(
+            s.metrics().counter(Counter::ProxyNacks) > 0,
+            "a 60MB incast must trim at the proxy leaf"
+        );
+    }
+
+    #[test]
+    fn naive_completes_with_grant_coupling() {
+        let mut s = sim();
+        let spec = spec(&s, 3, 3_000_000);
+        let h = install_incast(&mut s, &spec, Scheme::ProxyNaive);
+        assert_eq!(h.watch_flows.len(), 3);
+        assert_eq!(h.all_flows.len(), 6, "two legs per sender");
+        let r = s.run(Some(SimTime::ZERO + SimDuration::from_secs(60)));
+        assert_eq!(r.stop, StopReason::Idle, "{r:?}");
+        assert!(h.completion(s.metrics()).is_some());
+    }
+
+    #[test]
+    fn small_incast_schemes_on_par() {
+        // §4.2: a 20 MB incast sees no loss and no benefit from the proxy.
+        // Scaled here: an incast far below every queue threshold completes
+        // in near-identical time under all three schemes.
+        let mut results = Vec::new();
+        for scheme in Scheme::ALL {
+            let mut s = sim();
+            let spec = spec(&s, 2, 200_000);
+            let h = install_incast(&mut s, &spec, scheme);
+            s.run(None);
+            results.push(h.completion(s.metrics()).unwrap().as_secs_f64());
+        }
+        let base = results[0];
+        for r in &results {
+            assert!(
+                (r - base).abs() / base < 0.5,
+                "schemes should be on par for tiny incasts: {results:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proxy must be in the senders' datacenter")]
+    fn proxy_in_wrong_dc_panics() {
+        let mut s = sim();
+        let topo = s.topology();
+        let dc0 = topo.hosts_in_dc(0);
+        let dc1 = topo.hosts_in_dc(1);
+        let spec = IncastSpec::new(dc0[..2].to_vec(), dc1[0], 1000).with_proxy(dc1[1]);
+        install_incast(&mut s, &spec, Scheme::ProxyStreamlined);
+    }
+
+    #[test]
+    #[should_panic(expected = "proxy cannot be a sender")]
+    fn proxy_as_sender_panics() {
+        let mut s = sim();
+        let topo = s.topology();
+        let dc0 = topo.hosts_in_dc(0);
+        let dc1 = topo.hosts_in_dc(1);
+        let spec = IncastSpec::new(dc0[..2].to_vec(), dc1[0], 1000).with_proxy(dc0[0]);
+        install_incast(&mut s, &spec, Scheme::ProxyNaive);
+    }
+
+    #[test]
+    #[should_panic(expected = "require a proxy host")]
+    fn missing_proxy_panics() {
+        let mut s = sim();
+        let topo = s.topology();
+        let dc0 = topo.hosts_in_dc(0);
+        let dc1 = topo.hosts_in_dc(1);
+        let spec = IncastSpec::new(dc0[..2].to_vec(), dc1[0], 1000);
+        install_incast(&mut s, &spec, Scheme::ProxyStreamlined);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(Scheme::Baseline.label(), "Baseline");
+        assert!(!Scheme::Baseline.uses_proxy());
+        assert!(Scheme::ProxyNaive.uses_proxy());
+        assert!(Scheme::ProxyStreamlined.uses_proxy());
+    }
+}

@@ -1,0 +1,198 @@
+//! The discrete-event queue.
+//!
+//! A binary heap keyed by `(time, sequence)`: the sequence number breaks
+//! ties in insertion order, which makes runs fully deterministic — two
+//! events scheduled for the same picosecond always fire in the order they
+//! were scheduled.
+
+use crate::packet::{AgentId, NodeId, Packet, PortId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Timer discriminator passed back to the agent that armed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Retransmission timeout. Carries the arming epoch: a timer whose
+    /// epoch no longer matches the agent's current epoch is stale and is
+    /// dropped without reaching the agent.
+    Rto { epoch: u64 },
+    /// Generic agent-defined timer (pacing, orchestration probes, ...).
+    Custom { tag: u64, epoch: u64 },
+}
+
+/// A scheduled simulator event.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A packet finished propagating over a link and arrives at `node`.
+    Arrival { node: NodeId, packet: Packet },
+    /// The transmitter of `port` finished serializing its current packet.
+    TxDone { port: PortId },
+    /// A timer armed by `agent` fired.
+    Timer { agent: AgentId, kind: TimerKind },
+    /// A flow's sender starts transmitting.
+    FlowStart { agent: AgentId },
+    /// A packet leaves host processing and joins output port `port`
+    /// (delayed host-side sends, e.g. modelled proxy processing time).
+    Inject { port: PortId, packet: Packet },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest (time, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The event queue: a deterministic min-heap of [`Event`]s.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl EventQueue {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — events may only be scheduled at or
+    /// after the current time.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "heap returned an out-of-order event");
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn dummy(tag: u64) -> Event {
+        Event::Timer {
+            agent: AgentId(0),
+            kind: TimerKind::Custom { tag, epoch: 0 },
+        }
+    }
+
+    fn tag_of(e: &Event) -> u64 {
+        match e {
+            Event::Timer {
+                kind: TimerKind::Custom { tag, .. },
+                ..
+            } => *tag,
+            _ => panic!("unexpected event"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), dummy(3));
+        q.schedule(SimTime(10), dummy(1));
+        q.schedule(SimTime(20), dummy(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| tag_of(&e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for tag in 0..100 {
+            q.schedule(SimTime(5), dummy(tag));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| tag_of(&e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO + SimDuration::from_micros(7), dummy(0));
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::ZERO + SimDuration::from_micros(7));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(42), dummy(0));
+        assert_eq!(q.peek_time(), Some(SimTime(42)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), dummy(0));
+        q.pop();
+        q.schedule(SimTime(5), dummy(1));
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut q = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Flow installation helpers: wire a sender and a receiver into the
+//! simulator with path-derived congestion-control parameters.
+
+use crate::packet::{AgentId, FlowId, HostId, DATA_PKT_SIZE, HEADER_SIZE};
+use crate::protocol::{packets_for_bytes, CcConfig, DctcpSender, Receiver};
+use crate::sim::Simulator;
+use crate::time::SimTime;
+
+/// Description of a plain (unproxied) flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Application bytes to transfer.
+    pub bytes: u64,
+    /// Congestion-control override; `None` derives 1-BDP initial window and
+    /// RTT-scaled RTO from the path, per §4.1.
+    pub cc: Option<CcConfig>,
+}
+
+impl FlowSpec {
+    /// A flow with path-derived congestion control.
+    pub fn new(src: HostId, dst: HostId, bytes: u64) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            bytes,
+            cc: None,
+        }
+    }
+
+    /// Overrides the congestion-control config.
+    pub fn with_cc(mut self, cc: CcConfig) -> Self {
+        self.cc = Some(cc);
+        self
+    }
+}
+
+/// Handles to an installed flow's pieces.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowHandle {
+    /// The flow id (completion is recorded against it).
+    pub flow: FlowId,
+    /// The sending agent.
+    pub sender: AgentId,
+    /// The receiving agent.
+    pub receiver: AgentId,
+    /// Number of data packets the flow carries.
+    pub packets: u64,
+}
+
+/// Derives the §4.1 congestion-control parameters for the path
+/// `src → dst`: initial window = 1 BDP (bottleneck bandwidth × base RTT),
+/// RTO floor scaled to the base RTT.
+pub fn cc_for_path(sim: &Simulator, src: HostId, dst: HostId) -> CcConfig {
+    let topo = sim.topology();
+    let base_rtt = topo.base_rtt(src, dst, DATA_PKT_SIZE, HEADER_SIZE);
+    let bdp = topo.path_bottleneck(src, dst).bdp_bytes(base_rtt);
+    CcConfig::for_rtt(base_rtt, bdp)
+}
+
+/// Installs a sender/receiver pair for `spec`, scheduling the sender to
+/// start at `start`. Completion is recorded in the simulator metrics under
+/// the returned flow id when the receiver holds every byte.
+pub fn install_flow(sim: &mut Simulator, spec: FlowSpec, start: SimTime) -> FlowHandle {
+    assert_ne!(spec.src, spec.dst, "flow to self");
+    let cc = spec.cc.unwrap_or_else(|| cc_for_path(sim, spec.src, spec.dst));
+    let packets = packets_for_bytes(spec.bytes);
+    let flow = sim.new_flow();
+    let sender = sim.add_agent(Box::new(DctcpSender::new(
+        flow, spec.src, spec.dst, packets, cc,
+    )));
+    let receiver = sim.add_agent(Box::new(Receiver::new(flow, spec.dst, packets)));
+    sim.bind(flow, spec.src, sender);
+    sim.bind(flow, spec.dst, receiver);
+    sim.schedule_start(start, sender);
+    FlowHandle {
+        flow,
+        sender,
+        receiver,
+        packets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::MSS;
+    use crate::sim::StopReason;
+    use crate::time::SimDuration;
+    use crate::topology::{two_dc_leaf_spine, TwoDcParams};
+
+    fn sim() -> Simulator {
+        Simulator::new(two_dc_leaf_spine(&TwoDcParams::small_test()), 7)
+    }
+
+    #[test]
+    fn cc_for_path_intra_vs_inter() {
+        let s = sim();
+        let intra = cc_for_path(&s, crate::packet::HostId(0), crate::packet::HostId(1));
+        let far = s.topology().hosts_in_dc(1)[0];
+        let inter = cc_for_path(&s, crate::packet::HostId(0), far);
+        // Inter-DC BDP (100 µs links in the test topology) dwarfs the
+        // intra-DC BDP (µs-scale).
+        assert!(inter.init_cwnd_bytes > 20 * intra.init_cwnd_bytes);
+        assert!(inter.rto.min_rto > intra.rto.min_rto);
+        assert!(inter.base_feedback_delay > SimDuration::from_micros(400));
+    }
+
+    #[test]
+    fn single_intra_dc_flow_completes() {
+        let mut s = sim();
+        let h = install_flow(
+            &mut s,
+            FlowSpec::new(crate::packet::HostId(0), crate::packet::HostId(1), 100_000),
+            SimTime::ZERO,
+        );
+        let report = s.run(Some(SimTime::ZERO + SimDuration::from_secs(5)));
+        assert_eq!(report.stop, StopReason::Idle, "flow must drain: {report:?}");
+        let done = s.metrics().completion(h.flow).expect("completed");
+        // 100 KB at 100 Gbps ≈ 8 µs + RTT; must be well under a millisecond.
+        assert!(done < SimTime::ZERO + SimDuration::from_millis(1), "done at {done}");
+        assert_eq!(h.packets, 100_000u64.div_ceil(MSS));
+    }
+
+    #[test]
+    fn single_inter_dc_flow_completes() {
+        let mut s = sim();
+        let far = s.topology().hosts_in_dc(1)[0];
+        let h = install_flow(
+            &mut s,
+            FlowSpec::new(crate::packet::HostId(0), far, 1_000_000),
+            SimTime::ZERO,
+        );
+        let report = s.run(Some(SimTime::ZERO + SimDuration::from_secs(10)));
+        assert_eq!(report.stop, StopReason::Idle);
+        let done = s.metrics().completion(h.flow).expect("completed");
+        // Must take at least one one-way trip (~200 µs) but finish promptly
+        // (1 MB fits in the 1-BDP initial window).
+        assert!(done > SimTime::ZERO + SimDuration::from_micros(200));
+        assert!(done < SimTime::ZERO + SimDuration::from_millis(20), "done at {done}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut s = Simulator::new(two_dc_leaf_spine(&TwoDcParams::small_test()), seed);
+            let far = s.topology().hosts_in_dc(1)[0];
+            let h = install_flow(
+                &mut s,
+                FlowSpec::new(crate::packet::HostId(0), far, 500_000),
+                SimTime::ZERO,
+            );
+            s.run(None);
+            s.metrics().completion(h.flow).unwrap()
+        };
+        assert_eq!(run(1), run(1));
+        assert_eq!(run(2), run(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "flow to self")]
+    fn self_flow_panics() {
+        let mut s = sim();
+        install_flow(
+            &mut s,
+            FlowSpec::new(crate::packet::HostId(0), crate::packet::HostId(0), 1),
+            SimTime::ZERO,
+        );
+    }
+}

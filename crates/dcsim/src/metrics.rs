@@ -1,0 +1,132 @@
+//! Run-level metrics: flow completion times and protocol counters.
+
+use crate::agent::Counter;
+use crate::packet::FlowId;
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use trace::Summary;
+
+/// Metrics collected during one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimMetrics {
+    /// Completion timestamp per flow (set by the receiving endpoint once it
+    /// has every byte).
+    completions: HashMap<FlowId, SimTime>,
+    /// Protocol counters bumped by agents.
+    counters: HashMap<Counter, u64>,
+    /// Number of events processed.
+    pub events_processed: u64,
+}
+
+impl SimMetrics {
+    /// Records a flow completion. First completion wins; duplicate
+    /// completions (e.g. duplicate final ACKs) are ignored.
+    pub(crate) fn flow_done(&mut self, flow: FlowId, at: SimTime) {
+        self.completions.entry(flow).or_insert(at);
+    }
+
+    /// Bumps a counter.
+    pub(crate) fn count(&mut self, counter: Counter, amount: u64) {
+        *self.counters.entry(counter).or_insert(0) += amount;
+    }
+
+    /// Completion time of a flow, if it completed.
+    pub fn completion(&self, flow: FlowId) -> Option<SimTime> {
+        self.completions.get(&flow).copied()
+    }
+
+    /// Number of completed flows.
+    pub fn completed_flows(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Latest completion among the given flows — the incast completion time
+    /// when passed the incast's receiver-side flows. `None` if any flow has
+    /// not completed.
+    pub fn completion_of_all(&self, flows: &[FlowId]) -> Option<SimTime> {
+        flows
+            .iter()
+            .map(|f| self.completion(*f))
+            .collect::<Option<Vec<_>>>()
+            .map(|ts| ts.into_iter().max().expect("non-empty flow set"))
+    }
+
+    /// Value of a counter (0 if never bumped).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters.get(&counter).copied().unwrap_or(0)
+    }
+
+    /// Flow completion times relative to `start`, for the given flows,
+    /// skipping flows that have not completed.
+    pub fn completion_durations(&self, flows: &[FlowId], start: SimTime) -> Vec<SimDuration> {
+        flows
+            .iter()
+            .filter_map(|f| self.completion(*f))
+            .map(|t| t.since(start))
+            .collect()
+    }
+
+    /// Summary (count/mean/min/max/std, in seconds) of the completion
+    /// times of the given flows relative to `start` — the FCT statistics
+    /// of a flow group (e.g. the victims of an incast, or the incast's
+    /// own per-sender completions).
+    ///
+    /// Returns `None` when none of the flows completed.
+    pub fn fct_summary(&self, flows: &[FlowId], start: SimTime) -> Option<Summary> {
+        let secs: Vec<f64> = self
+            .completion_durations(flows, start)
+            .into_iter()
+            .map(|d| d.as_secs_f64())
+            .collect();
+        (!secs.is_empty()).then(|| Summary::of(&secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_completion_wins() {
+        let mut m = SimMetrics::default();
+        m.flow_done(FlowId(1), SimTime(100));
+        m.flow_done(FlowId(1), SimTime(200));
+        assert_eq!(m.completion(FlowId(1)), Some(SimTime(100)));
+        assert_eq!(m.completed_flows(), 1);
+    }
+
+    #[test]
+    fn completion_of_all_requires_every_flow() {
+        let mut m = SimMetrics::default();
+        m.flow_done(FlowId(1), SimTime(100));
+        m.flow_done(FlowId(2), SimTime(300));
+        assert_eq!(
+            m.completion_of_all(&[FlowId(1), FlowId(2)]),
+            Some(SimTime(300))
+        );
+        assert_eq!(m.completion_of_all(&[FlowId(1), FlowId(3)]), None);
+    }
+
+    #[test]
+    fn fct_summary_over_group() {
+        let mut m = SimMetrics::default();
+        m.flow_done(FlowId(0), SimTime(2_000_000));
+        m.flow_done(FlowId(1), SimTime(4_000_000));
+        let s = m
+            .fct_summary(&[FlowId(0), FlowId(1), FlowId(9)], SimTime(1_000_000))
+            .expect("two completed");
+        assert_eq!(s.count, 2);
+        assert!((s.min - 1e-6).abs() < 1e-12);
+        assert!((s.max - 3e-6).abs() < 1e-12);
+        assert!(m.fct_summary(&[FlowId(9)], SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = SimMetrics::default();
+        m.count(Counter::Retransmits, 2);
+        m.count(Counter::Retransmits, 3);
+        assert_eq!(m.counter(Counter::Retransmits), 5);
+        assert_eq!(m.counter(Counter::RtoFires), 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Transport protocol endpoints: the DCTCP-like sender of §4.1, the
+//! per-packet-ACK receiver, RTT/RTO estimation, and sequence tracking.
+
+pub mod dctcp;
+pub mod rate;
+pub mod receiver;
+pub mod rto;
+pub mod seqtrack;
+
+pub use dctcp::{packets_for_bytes, CcConfig, DctcpSender};
+pub use rate::{RateCcConfig, RateSender};
+pub use receiver::Receiver;
+pub use rto::{RtoConfig, RttEstimator};
+pub use seqtrack::SeqSet;

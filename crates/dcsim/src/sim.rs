@@ -1,0 +1,515 @@
+//! The simulator: event loop, port transmit state machines, switch
+//! forwarding with packet spraying, and agent dispatch.
+
+use crate::agent::{Agent, Ctx, Effect};
+use crate::events::{Event, EventQueue};
+use crate::metrics::SimMetrics;
+use crate::packet::{AgentId, FlowId, HostId, NodeId, Packet, PortId};
+use crate::queues::{EnqueueOutcome, PortQueue, QueueStats};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeRole, Topology};
+use trace::{derive_seed, SplitMix64};
+
+/// Why [`Simulator::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No events left: every flow is finished and every timer expired.
+    Idle,
+    /// The time limit was reached with events still pending.
+    TimeLimit,
+    /// The event-count safety cap was reached (indicates a livelock bug or
+    /// an undersized cap).
+    EventCap,
+}
+
+/// Outcome of a run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Simulated time at stop.
+    pub end_time: SimTime,
+    /// Events processed during this call.
+    pub events: u64,
+}
+
+struct PortRuntime {
+    queue: PortQueue,
+    busy: bool,
+}
+
+/// Binding of a flow to the agent handling it at each host it touches.
+#[derive(Debug, Default, Clone)]
+struct FlowBinding {
+    endpoints: Vec<(HostId, AgentId)>,
+}
+
+/// A packet-level discrete-event network simulator.
+pub struct Simulator {
+    topo: Topology,
+    events: EventQueue,
+    ports: Vec<PortRuntime>,
+    agents: Vec<Box<dyn Agent>>,
+    flows: Vec<FlowBinding>,
+    rng: SplitMix64,
+    metrics: SimMetrics,
+    event_cap: u64,
+    effects_pool: Vec<Vec<Effect>>,
+    /// Occupancy traces of designated ports: (time, total queued bytes)
+    /// sampled at every enqueue and dequeue.
+    traces: std::collections::HashMap<PortId, Vec<(SimTime, u64)>>,
+}
+
+impl Simulator {
+    /// Creates a simulator over `topo`. All randomness (packet spraying,
+    /// ECN ramp draws) derives from `seed`.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        let ports = (0..topo.port_count())
+            .map(|i| PortRuntime {
+                queue: PortQueue::new(topo.port(PortId(i as u32)).queue),
+                busy: false,
+            })
+            .collect();
+        Simulator {
+            topo,
+            events: EventQueue::new(),
+            ports,
+            agents: Vec::new(),
+            flows: Vec::new(),
+            rng: SplitMix64::new(derive_seed(seed, 0xD15C_0517)),
+            metrics: SimMetrics::default(),
+            event_cap: 2_000_000_000,
+            effects_pool: Vec::new(),
+            traces: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The topology this simulator runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// Queue statistics of a port (for congestion-point assertions).
+    pub fn port_stats(&self, port: PortId) -> QueueStats {
+        self.ports[port.index()].queue.stats()
+    }
+
+    /// Sets the safety cap on processed events per `run` call.
+    pub fn set_event_cap(&mut self, cap: u64) {
+        self.event_cap = cap;
+    }
+
+    /// Starts recording an occupancy trace of `port`: one `(time, queued
+    /// bytes)` sample per enqueue and per dequeue.
+    pub fn trace_port(&mut self, port: PortId) {
+        self.traces.entry(port).or_default();
+    }
+
+    /// The recorded occupancy trace of a port (empty unless
+    /// [`Simulator::trace_port`] was called before running).
+    pub fn port_trace(&self, port: PortId) -> &[(SimTime, u64)] {
+        self.traces.get(&port).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Registers an agent, returning its id.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
+        let id = AgentId(self.agents.len() as u32);
+        self.agents.push(agent);
+        id
+    }
+
+    /// Allocates a new flow id.
+    pub fn new_flow(&mut self) -> FlowId {
+        let id = FlowId(self.flows.len() as u32);
+        self.flows.push(FlowBinding::default());
+        id
+    }
+
+    /// Binds packets of `flow` arriving at `host` to `agent`.
+    ///
+    /// # Panics
+    /// Panics if the (flow, host) pair is already bound.
+    pub fn bind(&mut self, flow: FlowId, host: HostId, agent: AgentId) {
+        let binding = &mut self.flows[flow.index()];
+        assert!(
+            binding.endpoints.iter().all(|&(h, _)| h != host),
+            "{flow} already bound at {host}"
+        );
+        binding.endpoints.push((host, agent));
+    }
+
+    /// Schedules an agent's `on_start` at `at`.
+    pub fn schedule_start(&mut self, at: SimTime, agent: AgentId) {
+        self.events.schedule(at, Event::FlowStart { agent });
+    }
+
+    /// Runs until idle, the optional time limit, or the event cap.
+    pub fn run(&mut self, limit: Option<SimTime>) -> RunReport {
+        let mut processed = 0u64;
+        loop {
+            if processed >= self.event_cap {
+                return self.report(StopReason::EventCap, processed);
+            }
+            if let (Some(limit), Some(next)) = (limit, self.events.peek_time()) {
+                if next > limit {
+                    return self.report(StopReason::TimeLimit, processed);
+                }
+            }
+            let Some((now, event)) = self.events.pop() else {
+                return self.report(StopReason::Idle, processed);
+            };
+            processed += 1;
+            self.metrics.events_processed += 1;
+            match event {
+                Event::Arrival { node, packet } => self.on_arrival(now, node, packet),
+                Event::TxDone { port } => {
+                    self.ports[port.index()].busy = false;
+                    self.try_start_tx(now, port);
+                }
+                Event::Timer { agent, kind } => {
+                    self.dispatch(now, agent, |a, ctx| a.on_timer(kind, ctx));
+                }
+                Event::FlowStart { agent } => {
+                    self.dispatch(now, agent, |a, ctx| a.on_start(ctx));
+                }
+                Event::Inject { port, packet } => {
+                    self.enqueue_on_port(now, port, packet);
+                }
+            }
+        }
+    }
+
+    fn report(&self, stop: StopReason, events: u64) -> RunReport {
+        RunReport {
+            stop,
+            end_time: self.now(),
+            events,
+        }
+    }
+
+    /// Handles a packet arriving at a node: switches forward (with
+    /// spraying), hosts dispatch to the bound agent.
+    fn on_arrival(&mut self, now: SimTime, node: NodeId, packet: Packet) {
+        match self.topo.role(node) {
+            NodeRole::Host(host) => {
+                debug_assert_eq!(
+                    host, packet.dst,
+                    "packet for {} delivered to {host}",
+                    packet.dst
+                );
+                let agent = self.agent_for(packet.flow, host);
+                self.dispatch(now, agent, |a, ctx| a.on_packet(packet, ctx));
+            }
+            _ => {
+                let cands = self.topo.candidates(node, packet.dst);
+                debug_assert!(!cands.is_empty(), "switch {node} has no route to {}", packet.dst);
+                let pick = if cands.len() == 1 {
+                    0
+                } else {
+                    self.rng.next_bounded(cands.len() as u64) as usize
+                };
+                let port = cands[pick];
+                self.enqueue_on_port(now, port, packet);
+            }
+        }
+    }
+
+    fn agent_for(&self, flow: FlowId, host: HostId) -> AgentId {
+        let binding = &self.flows[flow.index()];
+        binding
+            .endpoints
+            .iter()
+            .find(|&&(h, _)| h == host)
+            .map(|&(_, a)| a)
+            .unwrap_or_else(|| panic!("{flow} has no agent bound at {host}"))
+    }
+
+    fn enqueue_on_port(&mut self, now: SimTime, port: PortId, packet: Packet) {
+        let outcome = self.ports[port.index()].queue.enqueue(packet, &mut self.rng);
+        self.sample_trace(now, port);
+        if outcome != EnqueueOutcome::Dropped {
+            self.try_start_tx(now, port);
+        }
+    }
+
+    #[inline]
+    fn sample_trace(&mut self, now: SimTime, port: PortId) {
+        if self.traces.is_empty() {
+            return;
+        }
+        let bytes = self.ports[port.index()].queue.total_bytes();
+        if let Some(trace) = self.traces.get_mut(&port) {
+            trace.push((now, bytes));
+        }
+    }
+
+    /// Starts transmitting the next queued packet if the port is idle:
+    /// store-and-forward — the packet is delivered to the next node after
+    /// serialization plus propagation.
+    fn try_start_tx(&mut self, now: SimTime, port: PortId) {
+        let rt = &mut self.ports[port.index()];
+        if rt.busy {
+            return;
+        }
+        let Some(pkt) = rt.queue.dequeue() else {
+            return;
+        };
+        rt.busy = true;
+        let spec = self.topo.port(port);
+        let ser = spec.link.bandwidth.serialize_time(pkt.size);
+        let arrive = now + ser + spec.link.latency;
+        self.events.schedule(now + ser, Event::TxDone { port });
+        self.events.schedule(
+            arrive,
+            Event::Arrival {
+                node: spec.to,
+                packet: pkt,
+            },
+        );
+        self.sample_trace(now, port);
+    }
+
+    /// Invokes an agent handler and applies the effects it produced.
+    fn dispatch<F>(&mut self, now: SimTime, agent: AgentId, f: F)
+    where
+        F: FnOnce(&mut dyn Agent, &mut Ctx),
+    {
+        let mut effects = self.effects_pool.pop().unwrap_or_default();
+        debug_assert!(effects.is_empty());
+        {
+            let mut ctx = Ctx {
+                now,
+                self_id: agent,
+                effects: &mut effects,
+            };
+            f(self.agents[agent.index()].as_mut(), &mut ctx);
+        }
+        self.apply_effects(now, &mut effects);
+        effects.clear();
+        self.effects_pool.push(effects);
+    }
+
+    fn apply_effects(&mut self, now: SimTime, effects: &mut Vec<Effect>) {
+        // Effects can nest (a Notify handler emits more effects), so drain
+        // by index; nested dispatches use their own buffer from the pool.
+        let drained: Vec<Effect> = std::mem::take(effects);
+        for effect in drained {
+            match effect {
+                Effect::Send {
+                    from,
+                    packet,
+                    delay,
+                } => {
+                    assert_ne!(packet.dst, from, "packet addressed to its own host");
+                    let node = self.topo.host_node(from);
+                    let egress = self.topo.ports_of(node);
+                    assert_eq!(egress.len(), 1, "host {from} must have exactly one NIC");
+                    let port = egress[0];
+                    if delay == SimDuration::ZERO {
+                        self.enqueue_on_port(now, port, packet);
+                    } else {
+                        self.events
+                            .schedule(now + delay, Event::Inject { port, packet });
+                    }
+                }
+                Effect::Timer { agent, at, kind } => {
+                    self.events.schedule(at, Event::Timer { agent, kind });
+                }
+                Effect::Notify { agent, note } => {
+                    self.dispatch(now, agent, |a, ctx| a.on_note(note, ctx));
+                }
+                Effect::FlowDone { flow } => {
+                    self.metrics.flow_done(flow, now);
+                }
+                Effect::Count { counter, amount } => {
+                    self.metrics.count(counter, amount);
+                }
+            }
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::flows::{install_flow, FlowSpec};
+    use crate::packet::HostId;
+    use crate::sim::Simulator;
+    use crate::time::{SimDuration, SimTime};
+    use crate::topology::{two_dc_leaf_spine, TwoDcParams};
+
+    #[test]
+    fn port_trace_records_occupancy() {
+        let topo = two_dc_leaf_spine(&TwoDcParams::small_test());
+        let mut sim = Simulator::new(topo, 3);
+        let dst = sim.topology().hosts_in_dc(1)[0];
+        let down_tor = sim.topology().down_tor_port(dst);
+        sim.trace_port(down_tor);
+        install_flow(&mut sim, FlowSpec::new(HostId(0), dst, 2_000_000), SimTime::ZERO);
+        sim.run(Some(SimTime::ZERO + SimDuration::from_secs(30)));
+        let trace = sim.port_trace(down_tor);
+        assert!(!trace.is_empty(), "traced port saw traffic");
+        // Timestamps are non-decreasing and occupancy returns to zero.
+        assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(trace.last().unwrap().1, 0, "queue drains by completion");
+        assert!(trace.iter().any(|&(_, b)| b > 0), "queue actually built");
+    }
+
+    #[test]
+    fn untraced_ports_record_nothing() {
+        let topo = two_dc_leaf_spine(&TwoDcParams::small_test());
+        let mut sim = Simulator::new(topo, 3);
+        let dst = sim.topology().hosts_in_dc(1)[0];
+        let down_tor = sim.topology().down_tor_port(dst);
+        install_flow(&mut sim, FlowSpec::new(HostId(0), dst, 100_000), SimTime::ZERO);
+        sim.run(None);
+        assert!(sim.port_trace(down_tor).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod dispatch_tests {
+    use crate::agent::{Agent, Ctx, Note};
+    use crate::events::TimerKind;
+    use crate::packet::{AgentId, HostId, Packet};
+    use crate::sim::Simulator;
+    use crate::time::{SimDuration, SimTime};
+    use crate::topology::{two_dc_leaf_spine, TwoDcParams};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// An agent that records when its callbacks fire.
+    struct Probe {
+        started_at: Arc<AtomicU64>,
+        timer_at: Arc<AtomicU64>,
+        notified: Arc<AtomicU64>,
+        peer: Option<AgentId>,
+    }
+
+    impl Agent for Probe {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            self.started_at.store(ctx.now.0, Ordering::Relaxed);
+            ctx.arm_timer(
+                ctx.now + SimDuration::from_micros(5),
+                TimerKind::Custom { tag: 7, epoch: 0 },
+            );
+            if let Some(peer) = self.peer {
+                ctx.notify(peer, Note::PacketsGranted { count: 3 });
+            }
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx) {}
+        fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx) {
+            if matches!(kind, TimerKind::Custom { tag: 7, .. }) {
+                self.timer_at.store(ctx.now.0, Ordering::Relaxed);
+            }
+        }
+        fn on_note(&mut self, note: Note, _ctx: &mut Ctx) {
+            let Note::PacketsGranted { count } = note;
+            self.notified.fetch_add(count, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn timers_fire_at_the_armed_time() {
+        let mut sim = Simulator::new(two_dc_leaf_spine(&TwoDcParams::small_test()), 1);
+        let started = Arc::new(AtomicU64::new(0));
+        let fired = Arc::new(AtomicU64::new(0));
+        let agent = sim.add_agent(Box::new(Probe {
+            started_at: started.clone(),
+            timer_at: fired.clone(),
+            notified: Arc::new(AtomicU64::new(0)),
+            peer: None,
+        }));
+        let start = SimTime::ZERO + SimDuration::from_micros(3);
+        sim.schedule_start(start, agent);
+        sim.run(None);
+        assert_eq!(started.load(Ordering::Relaxed), start.0);
+        assert_eq!(
+            fired.load(Ordering::Relaxed),
+            (start + SimDuration::from_micros(5)).0
+        );
+    }
+
+    #[test]
+    fn notify_is_delivered_at_the_same_timestamp() {
+        let mut sim = Simulator::new(two_dc_leaf_spine(&TwoDcParams::small_test()), 1);
+        let notified = Arc::new(AtomicU64::new(0));
+        let peer = sim.add_agent(Box::new(Probe {
+            started_at: Arc::new(AtomicU64::new(0)),
+            timer_at: Arc::new(AtomicU64::new(0)),
+            notified: notified.clone(),
+            peer: None,
+        }));
+        let sender = sim.add_agent(Box::new(Probe {
+            started_at: Arc::new(AtomicU64::new(0)),
+            timer_at: Arc::new(AtomicU64::new(0)),
+            notified: Arc::new(AtomicU64::new(0)),
+            peer: Some(peer),
+        }));
+        sim.schedule_start(SimTime::ZERO, sender);
+        sim.run(None);
+        assert_eq!(notified.load(Ordering::Relaxed), 3);
+    }
+
+    /// A delayed send (`send_after`) must reach the destination later than
+    /// an immediate send issued at the same instant.
+    struct DelayedSender {
+        dst: HostId,
+        src: HostId,
+    }
+    impl Agent for DelayedSender {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            let immediate = Packet::data(crate::packet::FlowId(0), 0, self.src, self.dst, 0);
+            let delayed = Packet::data(crate::packet::FlowId(0), 1, self.src, self.dst, 0);
+            ctx.send_after(SimDuration::from_micros(50), self.src, delayed);
+            ctx.send(self.src, immediate);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx) {}
+    }
+    struct ArrivalLog {
+        order: Arc<parking::Order>,
+    }
+    mod parking {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        pub struct Order(pub Mutex<Vec<(u64, u64)>>);
+    }
+    impl Agent for ArrivalLog {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+            self.order.0.lock().expect("lock").push((pkt.seq, ctx.now.0));
+        }
+    }
+
+    #[test]
+    fn send_after_delays_injection() {
+        let mut sim = Simulator::new(two_dc_leaf_spine(&TwoDcParams::small_test()), 1);
+        let order = Arc::new(parking::Order::default());
+        let src = HostId(0);
+        let dst = HostId(1);
+        let flow = sim.new_flow();
+        let tx = sim.add_agent(Box::new(DelayedSender { dst, src }));
+        let rx = sim.add_agent(Box::new(ArrivalLog { order: order.clone() }));
+        sim.bind(flow, src, tx);
+        sim.bind(flow, dst, rx);
+        sim.schedule_start(SimTime::ZERO, tx);
+        sim.run(None);
+        let log = order.0.lock().expect("lock").clone();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].0, 0, "immediate packet first");
+        assert_eq!(log[1].0, 1, "delayed packet second");
+        assert!(
+            log[1].1 >= log[0].1 + SimDuration::from_micros(50).0,
+            "delay must be at least the processing time: {log:?}"
+        );
+    }
+}

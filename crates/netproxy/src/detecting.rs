@@ -1,0 +1,276 @@
+//! The FW#1 detecting proxy on real sockets: early NACKs from loss
+//! *inference*, for networks without trimming support.
+//!
+//! Mirrors [`crate::streamlined::StreamlinedUdpProxy`] but instead of
+//! reacting to TRIMMED headers (which require switch support), it runs
+//! the bounded-memory [`LossDetector`] from `incast-core` over each
+//! flow's sequence stream and NACKs inferred gaps. A tokio interval
+//! drives the quiescence sweep that catches tail losses.
+
+use crate::wire::{Flags, WireHeader};
+use incast_core::lossdetect::{LossDetector, LossDetectorConfig};
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::UdpSocket;
+use tokio::sync::watch;
+
+/// Counters of a running detecting proxy.
+#[derive(Debug, Default)]
+pub struct DetectingStats {
+    /// Data datagrams forwarded to the receiver.
+    pub forwarded: AtomicU64,
+    /// NACKs generated from inferred gaps (including sweep re-NACKs).
+    pub nacks: AtomicU64,
+    /// Feedback datagrams forwarded back to the sender.
+    pub reversed: AtomicU64,
+    /// Malformed datagrams dropped.
+    pub dropped: AtomicU64,
+}
+
+/// A running detecting UDP proxy.
+pub struct DetectingUdpProxy {
+    local_addr: SocketAddr,
+    stats: Arc<DetectingStats>,
+    shutdown: watch::Sender<bool>,
+}
+
+impl DetectingUdpProxy {
+    /// Binds on `listen`, relays toward `receiver`, and sweeps quiet flows
+    /// every `sweep_interval`.
+    pub async fn start(
+        listen: SocketAddr,
+        receiver: SocketAddr,
+        config: LossDetectorConfig,
+        sweep_interval: Duration,
+    ) -> io::Result<Self> {
+        let socket = UdpSocket::bind(listen).await?;
+        let local_addr = socket.local_addr()?;
+        let stats = Arc::new(DetectingStats::default());
+        let (shutdown, mut shutdown_rx) = watch::channel(false);
+
+        let st = stats.clone();
+        tokio::spawn(async move {
+            let mut detector = LossDetector::new(config);
+            let mut senders: HashMap<u64, SocketAddr> = HashMap::new();
+            let mut last_activity: HashMap<u64, tokio::time::Instant> = HashMap::new();
+            let mut buf = vec![0u8; 2048];
+            let mut sweep = tokio::time::interval(sweep_interval);
+            sweep.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+            loop {
+                tokio::select! {
+                    r = socket.recv_from(&mut buf) => {
+                        let Ok((n, from)) = r else { break };
+                        let datagram = &buf[..n];
+                        let Ok((header, _payload)) = WireHeader::decode(datagram) else {
+                            st.dropped.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        };
+                        let flow_key = dcsim_flow(header.flow);
+                        if header.flags.contains(Flags::DATA) {
+                            senders.insert(header.flow, from);
+                            last_activity.insert(header.flow, tokio::time::Instant::now());
+                            for loss in detector.observe(flow_key, header.seq) {
+                                let nack = WireHeader::nack(header.flow, loss.seq).encode(&[]);
+                                let _ = socket.send_to(&nack, from).await;
+                                st.nacks.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let _ = socket.send_to(datagram, receiver).await;
+                            st.forwarded.fetch_add(1, Ordering::Relaxed);
+                        } else if let Some(&sender) = senders.get(&header.flow) {
+                            let _ = socket.send_to(datagram, sender).await;
+                            st.reversed.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            st.dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    _ = sweep.tick() => {
+                        let now = tokio::time::Instant::now();
+                        for (&flow, &sender) in &senders {
+                            let quiet = last_activity
+                                .get(&flow)
+                                .is_none_or(|&t| now.duration_since(t) >= sweep_interval);
+                            if !quiet {
+                                continue;
+                            }
+                            for loss in detector.sweep(dcsim_flow(flow)) {
+                                let nack = WireHeader::nack(flow, loss.seq).encode(&[]);
+                                let _ = socket.send_to(&nack, sender).await;
+                                st.nacks.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    _ = shutdown_rx.changed() => break,
+                }
+            }
+        });
+
+        Ok(DetectingUdpProxy {
+            local_addr,
+            stats,
+            shutdown,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &DetectingStats {
+        &self.stats
+    }
+
+    /// Stops the relay loop.
+    pub fn shutdown(&self) {
+        let _ = self.shutdown.send(true);
+    }
+}
+
+impl Drop for DetectingUdpProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Maps the 64-bit wire flow id into the detector's flow key space.
+fn dcsim_flow(flow: u64) -> dcsim::packet::FlowId {
+    dcsim::packet::FlowId(flow as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::MAX_PAYLOAD;
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().expect("addr")
+    }
+
+    fn config() -> LossDetectorConfig {
+        LossDetectorConfig {
+            reorder_threshold: 3,
+            max_pending: 1024,
+            ..Default::default()
+        }
+    }
+
+    async fn setup() -> (DetectingUdpProxy, UdpSocket, tokio::task::JoinHandle<u64>) {
+        let recv_sock = UdpSocket::bind(loopback()).await.unwrap();
+        let recv_addr = recv_sock.local_addr().unwrap();
+        let drain = tokio::spawn(async move {
+            let mut buf = [0u8; 2048];
+            let mut count = 0u64;
+            while tokio::time::timeout(Duration::from_millis(700), recv_sock.recv_from(&mut buf))
+                .await
+                .is_ok()
+            {
+                count += 1;
+            }
+            count
+        });
+        let proxy = DetectingUdpProxy::start(
+            loopback(),
+            recv_addr,
+            config(),
+            Duration::from_millis(30),
+        )
+        .await
+        .unwrap();
+        let sender = UdpSocket::bind(loopback()).await.unwrap();
+        (proxy, sender, drain)
+    }
+
+    #[tokio::test]
+    async fn nacks_inferred_gap_on_live_sockets() {
+        let (proxy, sender, _drain) = setup().await;
+        let payload = vec![0u8; 64];
+        // Send 0, skip 1 (the "network" dropped it), send 2..=5.
+        for seq in [0u64, 2, 3, 4, 5] {
+            let wire = WireHeader::data(7, seq, 64).encode(&payload);
+            sender.send_to(&wire, proxy.local_addr()).await.unwrap();
+        }
+        // Expect a NACK for seq 1.
+        let mut buf = [0u8; 2048];
+        let (n, _) = tokio::time::timeout(Duration::from_secs(2), sender.recv_from(&mut buf))
+            .await
+            .expect("nack timely")
+            .unwrap();
+        let (h, _) = WireHeader::decode(&buf[..n]).unwrap();
+        assert!(h.flags.contains(Flags::NACK));
+        assert_eq!(h.seq, 1);
+        assert!(proxy.stats().nacks.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[tokio::test]
+    async fn sweep_catches_tail_loss() {
+        let (proxy, sender, _drain) = setup().await;
+        let payload = vec![0u8; 64];
+        // Send 0 and 2; nothing follows, so the gap at 1 can only be
+        // caught by the quiescence sweep.
+        for seq in [0u64, 2] {
+            let wire = WireHeader::data(9, seq, 64).encode(&payload);
+            sender.send_to(&wire, proxy.local_addr()).await.unwrap();
+        }
+        let mut buf = [0u8; 2048];
+        let (n, _) = tokio::time::timeout(Duration::from_secs(2), sender.recv_from(&mut buf))
+            .await
+            .expect("sweep nack timely")
+            .unwrap();
+        let (h, _) = WireHeader::decode(&buf[..n]).unwrap();
+        assert!(h.flags.contains(Flags::NACK));
+        assert_eq!(h.seq, 1);
+    }
+
+    #[tokio::test]
+    async fn forwards_data_and_feedback() {
+        let recv_sock = UdpSocket::bind(loopback()).await.unwrap();
+        let recv_addr = recv_sock.local_addr().unwrap();
+        let proxy = DetectingUdpProxy::start(
+            loopback(),
+            recv_addr,
+            config(),
+            Duration::from_millis(50),
+        )
+        .await
+        .unwrap();
+        let sender = UdpSocket::bind(loopback()).await.unwrap();
+        let wire = WireHeader::data(3, 0, MAX_PAYLOAD as u16).encode(&vec![1u8; MAX_PAYLOAD]);
+        sender.send_to(&wire, proxy.local_addr()).await.unwrap();
+        let mut buf = [0u8; 2048];
+        let (n, _) =
+            tokio::time::timeout(Duration::from_secs(2), recv_sock.recv_from(&mut buf))
+                .await
+                .expect("forwarded")
+                .unwrap();
+        let (h, p) = WireHeader::decode(&buf[..n]).unwrap();
+        assert!(h.flags.contains(Flags::DATA));
+        assert_eq!(p.len(), MAX_PAYLOAD);
+        // Receiver acks; the proxy relays it to the sender.
+        let ack = WireHeader::ack(3, 0).encode(&[]);
+        recv_sock.send_to(&ack, proxy.local_addr()).await.unwrap();
+        let (n, _) = tokio::time::timeout(Duration::from_secs(2), sender.recv_from(&mut buf))
+            .await
+            .expect("ack relayed")
+            .unwrap();
+        let (h, _) = WireHeader::decode(&buf[..n]).unwrap();
+        assert!(h.flags.contains(Flags::ACK));
+    }
+
+    #[tokio::test]
+    async fn in_order_stream_produces_no_nacks() {
+        let (proxy, sender, drain) = setup().await;
+        let payload = vec![0u8; 64];
+        for seq in 0..50u64 {
+            let wire = WireHeader::data(11, seq, 64).encode(&payload);
+            sender.send_to(&wire, proxy.local_addr()).await.unwrap();
+        }
+        let forwarded = drain.await.unwrap();
+        assert!(forwarded >= 45, "most datagrams forwarded: {forwarded}");
+        assert_eq!(proxy.stats().nacks.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # netproxy — deployable incast proxies (the paper's §5 prototype)
+//!
+//! Runnable counterparts of the two proxy designs, built on tokio:
+//!
+//! * [`naive`] — the split-connection user-space proxy: a TCP listener
+//!   that terminates each sender connection and relays bytes over a second
+//!   connection to the receiver, with per-chunk latency instrumentation.
+//!   This is the design whose user-space overhead Figure 4 measures.
+//! * [`streamlined`] — the trim/NACK relay over a small custom UDP wire
+//!   format ([`wire`]): header-only (trimmed) packets are answered with an
+//!   immediate NACK to the sender; everything else is forwarded. The
+//!   per-packet decision function is exposed pure (no I/O) so its runtime
+//!   can be measured in isolation — the Figure 5a "lower bound" (the
+//!   paper's eBPF bytecode runtime analogue); the full socket path is the
+//!   Figure 5b "upper bound".
+//! * [`detecting`] — the FW#1 variant of the streamlined proxy for
+//!   networks *without* trimming support: early NACKs from gap inference
+//!   (`incast-core`'s bounded-memory loss detector) plus a quiescence
+//!   sweep for tail losses.
+//! * [`transport`] — a minimal NACK-driven reliable transport over the
+//!   wire format, for closed-loop end-to-end demonstrations.
+//! * [`loadgen`] — an iperf-like constant-rate load generator for both
+//!   transports, including the *virtual trimming switch* that stands in
+//!   for hardware trimming support on the UDP path.
+//!
+//! ## Substitutions versus the paper's testbed
+//!
+//! The paper measures two x86 servers with ConnectX-5 NICs, TC/eBPF hooks
+//! and switch trimming. Here everything runs over loopback sockets: the
+//! kernel network stack traversal that dominates the paper's upper bound
+//! (syscalls, context switches, skb processing) is exercised for real,
+//! while trimming is emulated by the load generator's token bucket. See
+//! DESIGN.md §3 for the substitution table.
+
+pub mod detecting;
+pub mod loadgen;
+pub mod naive;
+pub mod streamlined;
+pub mod transport;
+pub mod wire;
+
+pub use detecting::DetectingUdpProxy;
+pub use naive::NaiveProxy;
+pub use streamlined::{decide, Action, StreamlinedUdpProxy};
+pub use transport::{ReliableReceiver, ReliableSender, TransferStats};
+pub use wire::{Flags, WireHeader, WIRE_HEADER_LEN};

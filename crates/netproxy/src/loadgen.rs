@@ -1,0 +1,255 @@
+//! iperf-like load generation for the testbed experiments (§5).
+//!
+//! The paper drives its proxies with "a 10Gbps line rate for 30 seconds"
+//! of iperf traffic. [`TcpLoadGen`] reproduces that shape for the Naive
+//! proxy (constant-rate byte stream over TCP); [`UdpLoadGen`] does so for
+//! the Streamlined proxy, additionally emulating **switch trimming** with
+//! a token bucket: datagrams that exceed the virtual switch's drain rate
+//! are cut to trimmed headers before they reach the proxy, standing in
+//! for the trimming hardware the paper assumes.
+
+use crate::wire::{WireHeader, MAX_PAYLOAD};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream, UdpSocket};
+
+/// Outcome of a load-generation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadStats {
+    /// Full datagrams / bytes put on the wire.
+    pub sent_packets: u64,
+    /// Bytes of payload sent.
+    pub sent_bytes: u64,
+    /// Datagrams trimmed by the virtual switch (UDP mode only).
+    pub trimmed_packets: u64,
+}
+
+/// A rate-paced TCP byte-stream generator (the Naive-proxy workload).
+#[derive(Debug, Clone, Copy)]
+pub struct TcpLoadGen {
+    /// Target rate in bits per second.
+    pub rate_bps: u64,
+    /// How long to transmit.
+    pub duration: Duration,
+    /// Write chunk size in bytes.
+    pub chunk: usize,
+}
+
+impl TcpLoadGen {
+    /// A scaled-down default: 200 Mbit/s for 1 s in 16 KiB chunks (the
+    /// paper's 10 Gbps × 30 s shape, sized for CI).
+    pub fn scaled_default() -> Self {
+        TcpLoadGen {
+            rate_bps: 200_000_000,
+            duration: Duration::from_secs(1),
+            chunk: 16 * 1024,
+        }
+    }
+
+    /// Connects to `target` and streams at the configured rate.
+    pub async fn run(&self, target: SocketAddr) -> io::Result<LoadStats> {
+        assert!(self.rate_bps > 0 && self.chunk > 0, "invalid load config");
+        let mut stream = TcpStream::connect(target).await?;
+        stream.set_nodelay(true)?;
+        let payload = vec![0x42u8; self.chunk];
+        let start = Instant::now();
+        let mut stats = LoadStats::default();
+        while start.elapsed() < self.duration {
+            // Token pacing: how many bytes should have left by now?
+            let due = (start.elapsed().as_secs_f64() * self.rate_bps as f64 / 8.0) as u64;
+            if stats.sent_bytes < due {
+                stream.write_all(&payload).await?;
+                stats.sent_bytes += self.chunk as u64;
+                stats.sent_packets += 1;
+            } else {
+                tokio::time::sleep(Duration::from_micros(100)).await;
+            }
+        }
+        stream.shutdown().await?;
+        Ok(stats)
+    }
+}
+
+/// Byte-counting TCP sink; returns its address and a live byte counter.
+pub async fn tcp_sink() -> io::Result<(SocketAddr, Arc<AtomicU64>)> {
+    let listener = TcpListener::bind("127.0.0.1:0".parse::<SocketAddr>().expect("addr")).await?;
+    let addr = listener.local_addr()?;
+    let counter = Arc::new(AtomicU64::new(0));
+    let c = counter.clone();
+    tokio::spawn(async move {
+        while let Ok((mut s, _)) = listener.accept().await {
+            let c = c.clone();
+            tokio::spawn(async move {
+                let mut buf = vec![0u8; 64 * 1024];
+                loop {
+                    match s.read(&mut buf).await {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            c.fetch_add(n as u64, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    Ok((addr, counter))
+}
+
+/// A rate-paced UDP datagram generator with a virtual trimming switch
+/// (the Streamlined-proxy workload).
+#[derive(Debug, Clone, Copy)]
+pub struct UdpLoadGen {
+    /// Flow id stamped on every datagram.
+    pub flow: u64,
+    /// Target offered rate in bits per second.
+    pub rate_bps: u64,
+    /// How long to transmit.
+    pub duration: Duration,
+    /// The virtual switch's drain rate; offered load beyond it is trimmed.
+    pub switch_rate_bps: u64,
+    /// The virtual switch's queue depth in bytes.
+    pub switch_buffer_bytes: u64,
+}
+
+impl UdpLoadGen {
+    /// A scaled-down default: offer 100 Mbit/s against an 80 Mbit/s
+    /// virtual switch for 1 s — ~20% of datagrams arrive trimmed, so the
+    /// proxy's NACK path is exercised alongside forwarding.
+    pub fn scaled_default(flow: u64) -> Self {
+        UdpLoadGen {
+            flow,
+            rate_bps: 100_000_000,
+            duration: Duration::from_secs(1),
+            switch_rate_bps: 80_000_000,
+            switch_buffer_bytes: 256 * 1024,
+        }
+    }
+
+    /// Sends data datagrams to `target` (the proxy), trimming whatever the
+    /// virtual switch cannot absorb.
+    pub async fn run(&self, socket: &UdpSocket, target: SocketAddr) -> io::Result<LoadStats> {
+        assert!(self.rate_bps > 0 && self.switch_rate_bps > 0, "invalid load config");
+        let payload = vec![0x17u8; MAX_PAYLOAD];
+        let start = Instant::now();
+        let mut stats = LoadStats::default();
+        let mut seq = 0u64;
+        // Virtual switch state: a token-bucket queue. Only *accepted*
+        // (untrimmed) bytes occupy the queue; it drains continuously at
+        // the switch rate.
+        let mut offered: u64 = 0;
+        let mut accepted: u64 = 0;
+        while start.elapsed() < self.duration {
+            let due = (start.elapsed().as_secs_f64() * self.rate_bps as f64 / 8.0) as u64;
+            if offered >= due {
+                tokio::time::sleep(Duration::from_micros(100)).await;
+                continue;
+            }
+            let drained = (start.elapsed().as_secs_f64() * self.switch_rate_bps as f64 / 8.0) as u64;
+            let queued = accepted.saturating_sub(drained);
+            let datagram = if queued + MAX_PAYLOAD as u64 > self.switch_buffer_bytes {
+                // Virtual switch full: trim the payload, forward the header.
+                stats.trimmed_packets += 1;
+                WireHeader::trimmed(self.flow, seq).encode(&[])
+            } else {
+                stats.sent_bytes += MAX_PAYLOAD as u64;
+                accepted += MAX_PAYLOAD as u64;
+                WireHeader::data(self.flow, seq, MAX_PAYLOAD as u16).encode(&payload)
+            };
+            socket.send_to(&datagram, target).await?;
+            stats.sent_packets += 1;
+            offered += MAX_PAYLOAD as u64;
+            seq += 1;
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn tcp_loadgen_hits_approximate_rate() {
+        let (sink, counter) = tcp_sink().await.unwrap();
+        let gen = TcpLoadGen {
+            rate_bps: 80_000_000, // 10 MB/s
+            duration: Duration::from_millis(500),
+            chunk: 8192,
+        };
+        let stats = gen.run(sink).await.unwrap();
+        // Expect ~5 MB ± 40% (CI machines jitter).
+        assert!(
+            (3_000_000..8_000_000).contains(&stats.sent_bytes),
+            "sent {}",
+            stats.sent_bytes
+        );
+        // Sink eventually sees everything.
+        tokio::time::sleep(Duration::from_millis(200)).await;
+        assert_eq!(counter.load(Ordering::Relaxed), stats.sent_bytes);
+    }
+
+    #[tokio::test]
+    async fn udp_loadgen_trims_overload() {
+        let sink = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let target = sink.local_addr().unwrap();
+        // Drain the sink so the kernel buffer doesn't drop.
+        tokio::spawn(async move {
+            let mut buf = [0u8; 2048];
+            loop {
+                if sink.recv_from(&mut buf).await.is_err() {
+                    break;
+                }
+            }
+        });
+        let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let gen = UdpLoadGen {
+            flow: 1,
+            rate_bps: 40_000_000,
+            duration: Duration::from_millis(400),
+            switch_rate_bps: 20_000_000,
+            switch_buffer_bytes: 64 * 1024,
+        };
+        let stats = gen.run(&sock, target).await.unwrap();
+        assert!(stats.sent_packets > 100, "{stats:?}");
+        // Offering 2x the drain rate must trim roughly half the packets.
+        let frac = stats.trimmed_packets as f64 / stats.sent_packets as f64;
+        assert!((0.25..0.75).contains(&frac), "trim fraction {frac}");
+    }
+
+    #[tokio::test]
+    async fn udp_loadgen_no_trim_under_capacity() {
+        let sink = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let target = sink.local_addr().unwrap();
+        tokio::spawn(async move {
+            let mut buf = [0u8; 2048];
+            loop {
+                if sink.recv_from(&mut buf).await.is_err() {
+                    break;
+                }
+            }
+        });
+        let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        let gen = UdpLoadGen {
+            flow: 1,
+            rate_bps: 10_000_000,
+            duration: Duration::from_millis(300),
+            switch_rate_bps: 100_000_000,
+            switch_buffer_bytes: 1_000_000,
+        };
+        let stats = gen.run(&sock, target).await.unwrap();
+        assert_eq!(stats.trimmed_packets, 0, "{stats:?}");
+        assert!(stats.sent_packets > 50);
+    }
+
+    #[test]
+    fn scaled_defaults_are_sane() {
+        let t = TcpLoadGen::scaled_default();
+        assert!(t.rate_bps > 0 && t.chunk > 0);
+        let u = UdpLoadGen::scaled_default(1);
+        assert!(u.switch_rate_bps < u.rate_bps, "default must induce trims");
+    }
+}

@@ -1,0 +1,348 @@
+//! A minimal reliable transport over the wire format, for closed-loop
+//! demonstrations through the live Streamlined proxy.
+//!
+//! This is deliberately a *small* NACK-driven ARQ, not a congestion-
+//! controlled stack: a fixed window, per-packet ACKs, retransmission on
+//! NACK (the proxy's early loss signal) and a retransmission timer as the
+//! last resort — just enough machinery to show a real transfer surviving
+//! virtual-switch trimming end to end over sockets.
+
+use crate::wire::{Flags, WireHeader, MAX_PAYLOAD};
+use std::collections::BTreeSet;
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use tokio::net::UdpSocket;
+
+/// Transfer statistics returned by [`ReliableSender::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransferStats {
+    /// Distinct packets in the flow.
+    pub total_packets: u64,
+    /// Transmissions (first sends + retransmissions).
+    pub transmissions: u64,
+    /// Retransmissions triggered by NACKs.
+    pub nack_retransmits: u64,
+    /// Retransmissions triggered by the timer.
+    pub timeout_retransmits: u64,
+    /// Wall-clock completion time.
+    pub elapsed: Duration,
+}
+
+/// Configuration of the reliable sender.
+#[derive(Debug, Clone, Copy)]
+pub struct ReliableSender {
+    /// Flow id stamped on every packet.
+    pub flow: u64,
+    /// Packets to transfer.
+    pub total_packets: u64,
+    /// Maximum unacknowledged packets in flight.
+    pub window: usize,
+    /// Retransmission timeout (last resort; NACKs normally arrive first).
+    pub rto: Duration,
+    /// Give up after this long.
+    pub deadline: Duration,
+}
+
+impl ReliableSender {
+    /// Runs the transfer through `proxy` (which forwards to the receiver
+    /// and reflects NACKs), driven by `socket`.
+    ///
+    /// # Errors
+    /// I/O errors, or `TimedOut` if the deadline expires.
+    pub async fn run(&self, socket: &UdpSocket, proxy: SocketAddr) -> io::Result<TransferStats> {
+        assert!(self.total_packets > 0 && self.window > 0, "invalid transfer");
+        let payload = vec![0x3Cu8; MAX_PAYLOAD];
+        let start = Instant::now();
+        let mut stats = TransferStats {
+            total_packets: self.total_packets,
+            ..Default::default()
+        };
+        let mut next_new: u64 = 0;
+        let mut acked: BTreeSet<u64> = BTreeSet::new();
+        // (seq, last transmission time) of in-flight packets.
+        let mut inflight: Vec<(u64, Instant)> = Vec::new();
+        let mut rtx: BTreeSet<u64> = BTreeSet::new();
+        let mut buf = [0u8; 2048];
+
+        while (acked.len() as u64) < self.total_packets {
+            if start.elapsed() > self.deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "transfer incomplete: {}/{} acked",
+                        acked.len(),
+                        self.total_packets
+                    ),
+                ));
+            }
+            // Fill the window: retransmissions first.
+            while inflight.len() < self.window {
+                let seq = if let Some(&seq) = rtx.iter().next() {
+                    rtx.remove(&seq);
+                    seq
+                } else if next_new < self.total_packets {
+                    next_new += 1;
+                    next_new - 1
+                } else {
+                    break;
+                };
+                if acked.contains(&seq) {
+                    continue;
+                }
+                let wire = WireHeader::data(self.flow, seq, MAX_PAYLOAD as u16).encode(&payload);
+                socket.send_to(&wire, proxy).await?;
+                stats.transmissions += 1;
+                inflight.push((seq, Instant::now()));
+            }
+            // Reap feedback (bounded wait so timers stay responsive).
+            match tokio::time::timeout(Duration::from_millis(5), socket.recv_from(&mut buf)).await
+            {
+                Ok(Ok((n, _from))) => {
+                    if let Ok((header, _)) = WireHeader::decode(&buf[..n]) {
+                        if header.flow != self.flow {
+                            continue;
+                        }
+                        if header.flags.contains(Flags::ACK) {
+                            acked.insert(header.seq);
+                            inflight.retain(|&(s, _)| s != header.seq);
+                        } else if header.flags.contains(Flags::NACK)
+                            && !acked.contains(&header.seq)
+                        {
+                            inflight.retain(|&(s, _)| s != header.seq);
+                            stats.nack_retransmits += 1;
+                            rtx.insert(header.seq);
+                        }
+                    }
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(_elapsed) => {}
+            }
+            // Timer-based recovery for anything silent past the RTO.
+            let now = Instant::now();
+            let rto = self.rto;
+            inflight.retain(|&(seq, sent)| {
+                if now.duration_since(sent) > rto && !acked.contains(&seq) {
+                    stats.timeout_retransmits += 1;
+                    rtx.insert(seq);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        stats.elapsed = start.elapsed();
+        Ok(stats)
+    }
+}
+
+/// The matching receiver: acks every data packet back through the proxy
+/// and completes once it holds every sequence.
+pub struct ReliableReceiver {
+    /// Flow id to serve.
+    pub flow: u64,
+    /// Packets expected.
+    pub total_packets: u64,
+}
+
+impl ReliableReceiver {
+    /// Serves the flow on `socket` until complete (acks are addressed to
+    /// the datagram source, i.e. the proxy, which relays them back).
+    /// Returns the number of duplicate data packets seen.
+    pub async fn run(&self, socket: &UdpSocket, deadline: Duration) -> io::Result<u64> {
+        let start = Instant::now();
+        let mut received: BTreeSet<u64> = BTreeSet::new();
+        let mut duplicates = 0u64;
+        let mut buf = [0u8; 2048];
+        while (received.len() as u64) < self.total_packets {
+            if start.elapsed() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("receive incomplete: {}/{}", received.len(), self.total_packets),
+                ));
+            }
+            let Ok(recv) =
+                tokio::time::timeout(Duration::from_millis(100), socket.recv_from(&mut buf)).await
+            else {
+                continue;
+            };
+            let (n, from) = recv?;
+            let Ok((header, _payload)) = WireHeader::decode(&buf[..n]) else {
+                continue;
+            };
+            if header.flow != self.flow || !header.flags.contains(Flags::DATA) {
+                continue;
+            }
+            if !received.insert(header.seq) {
+                duplicates += 1;
+            }
+            let ack = WireHeader::ack(self.flow, header.seq).encode(&[]);
+            socket.send_to(&ack, from).await?;
+        }
+        Ok(duplicates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streamlined::StreamlinedUdpProxy;
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().expect("addr")
+    }
+
+    /// Full closed loop: sender -> proxy -> receiver, acks back through
+    /// the proxy, no loss.
+    #[tokio::test]
+    async fn lossless_transfer_completes() {
+        let recv_sock = UdpSocket::bind(loopback()).await.unwrap();
+        let recv_addr = recv_sock.local_addr().unwrap();
+        let proxy = StreamlinedUdpProxy::start(loopback(), recv_addr).await.unwrap();
+        let receiver = tokio::spawn(async move {
+            ReliableReceiver {
+                flow: 1,
+                total_packets: 200,
+            }
+            .run(&recv_sock, Duration::from_secs(10))
+            .await
+        });
+        let send_sock = UdpSocket::bind(loopback()).await.unwrap();
+        let stats = ReliableSender {
+            flow: 1,
+            total_packets: 200,
+            window: 32,
+            rto: Duration::from_millis(200),
+            deadline: Duration::from_secs(10),
+        }
+        .run(&send_sock, proxy.local_addr())
+        .await
+        .unwrap();
+        let dups = receiver.await.unwrap().unwrap();
+        assert_eq!(stats.total_packets, 200);
+        assert!(stats.transmissions >= 200);
+        let _ = dups; // duplicates possible under kernel-buffer pressure
+    }
+
+    /// Datagrams trimmed before the proxy must be recovered via the
+    /// proxy's NACKs, not the RTO.
+    #[tokio::test]
+    async fn trimmed_packets_recovered_by_nacks() {
+        let recv_sock = UdpSocket::bind(loopback()).await.unwrap();
+        let recv_addr = recv_sock.local_addr().unwrap();
+        let proxy = StreamlinedUdpProxy::start(loopback(), recv_addr).await.unwrap();
+        let proxy_addr = proxy.local_addr();
+        let receiver = tokio::spawn(async move {
+            ReliableReceiver {
+                flow: 2,
+                total_packets: 100,
+            }
+            .run(&recv_sock, Duration::from_secs(15))
+            .await
+        });
+        // A lossy "switch" in front of the proxy: trims every 5th packet's
+        // first transmission.
+        let send_sock = UdpSocket::bind(loopback()).await.unwrap();
+        let lossy = LossySender {
+            inner: ReliableSender {
+                flow: 2,
+                total_packets: 100,
+                window: 16,
+                rto: Duration::from_secs(5), // long: force NACK recovery
+                deadline: Duration::from_secs(15),
+            },
+        };
+        let stats = lossy.run(&send_sock, proxy_addr).await.unwrap();
+        receiver.await.unwrap().unwrap();
+        assert!(stats.nack_retransmits >= 15, "{stats:?}");
+        assert_eq!(stats.timeout_retransmits, 0, "NACKs must beat the RTO: {stats:?}");
+    }
+
+    /// Wraps ReliableSender but replaces every 5th first transmission with
+    /// a trimmed header (the virtual switch).
+    struct LossySender {
+        inner: ReliableSender,
+    }
+
+    impl LossySender {
+        async fn run(&self, socket: &UdpSocket, proxy: SocketAddr) -> io::Result<TransferStats> {
+            // Reimplementation of the send loop with trimming injected;
+            // small enough to duplicate for the test's clarity.
+            let s = &self.inner;
+            let payload = vec![0u8; MAX_PAYLOAD];
+            let start = Instant::now();
+            let mut stats = TransferStats {
+                total_packets: s.total_packets,
+                ..Default::default()
+            };
+            let mut next_new = 0u64;
+            let mut acked = BTreeSet::new();
+            let mut inflight: Vec<(u64, Instant)> = Vec::new();
+            let mut rtx: BTreeSet<u64> = BTreeSet::new();
+            let mut first_tx_done: BTreeSet<u64> = BTreeSet::new();
+            let mut buf = [0u8; 2048];
+            while (acked.len() as u64) < s.total_packets {
+                if start.elapsed() > s.deadline {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "incomplete"));
+                }
+                while inflight.len() < s.window {
+                    let seq = if let Some(&q) = rtx.iter().next() {
+                        rtx.remove(&q);
+                        q
+                    } else if next_new < s.total_packets {
+                        next_new += 1;
+                        next_new - 1
+                    } else {
+                        break;
+                    };
+                    if acked.contains(&seq) {
+                        continue;
+                    }
+                    let trim_this = seq % 5 == 0 && first_tx_done.insert(seq);
+                    let wire = if trim_this {
+                        WireHeader::trimmed(s.flow, seq).encode(&[])
+                    } else {
+                        first_tx_done.insert(seq);
+                        WireHeader::data(s.flow, seq, MAX_PAYLOAD as u16).encode(&payload)
+                    };
+                    socket.send_to(&wire, proxy).await?;
+                    stats.transmissions += 1;
+                    inflight.push((seq, Instant::now()));
+                }
+                match tokio::time::timeout(Duration::from_millis(5), socket.recv_from(&mut buf))
+                    .await
+                {
+                    Ok(Ok((n, _))) => {
+                        if let Ok((h, _)) = WireHeader::decode(&buf[..n]) {
+                            if h.flow != s.flow {
+                                continue;
+                            }
+                            if h.flags.contains(Flags::ACK) {
+                                acked.insert(h.seq);
+                                inflight.retain(|&(q, _)| q != h.seq);
+                            } else if h.flags.contains(Flags::NACK) && !acked.contains(&h.seq) {
+                                inflight.retain(|&(q, _)| q != h.seq);
+                                stats.nack_retransmits += 1;
+                                rtx.insert(h.seq);
+                            }
+                        }
+                    }
+                    Ok(Err(e)) => return Err(e),
+                    Err(_) => {}
+                }
+                let now = Instant::now();
+                inflight.retain(|&(seq, sent)| {
+                    if now.duration_since(sent) > s.rto && !acked.contains(&seq) {
+                        stats.timeout_retransmits += 1;
+                        rtx.insert(seq);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            stats.elapsed = start.elapsed();
+            Ok(stats)
+        }
+    }
+}

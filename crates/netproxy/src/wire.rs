@@ -1,0 +1,279 @@
+//! The UDP wire format of the streamlined proxy.
+//!
+//! A fixed 24-byte header followed by an optional payload. Switch trimming
+//! (which the paper borrows from NDP/EQDS/Ultra Ethernet) is represented
+//! by the [`Flags::TRIMMED`] bit: a trimming hop cuts the payload and sets
+//! the bit; the proxy answers such headers with a NACK.
+//!
+//! ```text
+//!  0        2        3        4            12           20      22
+//!  +--------+--------+--------+------------+------------+-------+
+//!  | magic  | flags  |  rsvd  |  flow id   |    seq     |  len  |
+//!  +--------+--------+--------+------------+------------+-------+
+//!  |              payload (len bytes, absent if trimmed)        |
+//!  +------------------------------------------------------------+
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Wire magic ("IC" for incast).
+pub const MAGIC: u16 = 0x4943;
+/// Encoded header length in bytes.
+pub const WIRE_HEADER_LEN: usize = 24;
+/// Largest payload carried per datagram (fits a 1500 B MTU with headroom).
+pub const MAX_PAYLOAD: usize = 1400;
+
+/// Packet-type flags. Exactly one of DATA/ACK/NACK is set; TRIMMED may
+/// accompany DATA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flags(pub u8);
+
+impl Flags {
+    /// Payload-bearing data packet.
+    pub const DATA: Flags = Flags(0b0001);
+    /// Acknowledgment.
+    pub const ACK: Flags = Flags(0b0010);
+    /// Negative acknowledgment (loss signal).
+    pub const NACK: Flags = Flags(0b0100);
+    /// Payload was trimmed by a (virtual) switch.
+    pub const TRIMMED: Flags = Flags(0b1000);
+
+    /// Tests whether all bits of `other` are set.
+    pub fn contains(&self, other: Flags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    pub fn union(&self, other: Flags) -> Flags {
+        Flags(self.0 | other.0)
+    }
+
+    /// Exactly one primary type bit (DATA/ACK/NACK) is set.
+    pub fn is_valid(&self) -> bool {
+        let primary = self.0 & 0b0111;
+        primary.count_ones() == 1 && (self.0 & !0b1111) == 0
+            // TRIMMED only makes sense on DATA.
+            && (!self.contains(Flags::TRIMMED) || self.contains(Flags::DATA))
+    }
+}
+
+/// A decoded packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireHeader {
+    /// Packet-type flags.
+    pub flags: Flags,
+    /// Flow identifier (assigned by the load generator / application).
+    pub flow: u64,
+    /// Sequence number within the flow.
+    pub seq: u64,
+    /// Payload length in bytes (0 for control and trimmed packets).
+    pub payload_len: u16,
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Datagram shorter than a header.
+    Truncated,
+    /// Magic mismatch (not our protocol).
+    BadMagic,
+    /// Flag combination invalid.
+    BadFlags,
+    /// Header claims more payload than the datagram carries.
+    BadLength,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WireError::Truncated => "datagram shorter than header",
+            WireError::BadMagic => "bad magic",
+            WireError::BadFlags => "invalid flag combination",
+            WireError::BadLength => "payload length exceeds datagram",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireHeader {
+    /// A data header for `payload_len` bytes.
+    pub fn data(flow: u64, seq: u64, payload_len: u16) -> Self {
+        WireHeader {
+            flags: Flags::DATA,
+            flow,
+            seq,
+            payload_len,
+        }
+    }
+
+    /// A trimmed-data header (payload removed by a switch).
+    pub fn trimmed(flow: u64, seq: u64) -> Self {
+        WireHeader {
+            flags: Flags::DATA.union(Flags::TRIMMED),
+            flow,
+            seq,
+            payload_len: 0,
+        }
+    }
+
+    /// An ACK for `seq`.
+    pub fn ack(flow: u64, seq: u64) -> Self {
+        WireHeader {
+            flags: Flags::ACK,
+            flow,
+            seq,
+            payload_len: 0,
+        }
+    }
+
+    /// A NACK for `seq`.
+    pub fn nack(flow: u64, seq: u64) -> Self {
+        WireHeader {
+            flags: Flags::NACK,
+            flow,
+            seq,
+            payload_len: 0,
+        }
+    }
+
+    /// Encodes the header (and payload, if any) into a datagram.
+    pub fn encode(&self, payload: &[u8]) -> Bytes {
+        debug_assert_eq!(payload.len(), self.payload_len as usize);
+        let mut buf = BytesMut::with_capacity(WIRE_HEADER_LEN + payload.len());
+        buf.put_u16(MAGIC);
+        buf.put_u8(self.flags.0);
+        buf.put_u8(0); // reserved
+        buf.put_u64(self.flow);
+        buf.put_u64(self.seq);
+        buf.put_u16(self.payload_len);
+        buf.put_u16(0); // reserved / padding to 24
+        buf.put_slice(payload);
+        buf.freeze()
+    }
+
+    /// Decodes a datagram into a header and its payload slice.
+    pub fn decode(datagram: &[u8]) -> Result<(WireHeader, &[u8]), WireError> {
+        if datagram.len() < WIRE_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let mut buf = datagram;
+        if buf.get_u16() != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let flags = Flags(buf.get_u8());
+        if !flags.is_valid() {
+            return Err(WireError::BadFlags);
+        }
+        let _reserved = buf.get_u8();
+        let flow = buf.get_u64();
+        let seq = buf.get_u64();
+        let payload_len = buf.get_u16();
+        let _pad = buf.get_u16();
+        let payload = &datagram[WIRE_HEADER_LEN..];
+        if payload.len() < payload_len as usize {
+            return Err(WireError::BadLength);
+        }
+        Ok((
+            WireHeader {
+                flags,
+                flow,
+                seq,
+                payload_len,
+            },
+            &payload[..payload_len as usize],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_data() {
+        let payload = vec![0xAB; 100];
+        let h = WireHeader::data(7, 42, 100);
+        let wire = h.encode(&payload);
+        assert_eq!(wire.len(), WIRE_HEADER_LEN + 100);
+        let (decoded, p) = WireHeader::decode(&wire).unwrap();
+        assert_eq!(decoded, h);
+        assert_eq!(p, &payload[..]);
+    }
+
+    #[test]
+    fn roundtrip_control() {
+        for h in [
+            WireHeader::ack(1, 2),
+            WireHeader::nack(3, 4),
+            WireHeader::trimmed(5, 6),
+        ] {
+            let wire = h.encode(&[]);
+            assert_eq!(wire.len(), WIRE_HEADER_LEN);
+            let (decoded, p) = WireHeader::decode(&wire).unwrap();
+            assert_eq!(decoded, h);
+            assert!(p.is_empty());
+        }
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let wire = WireHeader::ack(1, 2).encode(&[]);
+        assert_eq!(
+            WireHeader::decode(&wire[..WIRE_HEADER_LEN - 1]),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut wire = WireHeader::ack(1, 2).encode(&[]).to_vec();
+        wire[0] ^= 0xFF;
+        assert_eq!(WireHeader::decode(&wire), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        // DATA|ACK set together.
+        let mut wire = WireHeader::ack(1, 2).encode(&[]).to_vec();
+        wire[2] = 0b0011;
+        assert_eq!(WireHeader::decode(&wire), Err(WireError::BadFlags));
+        // TRIMMED without DATA.
+        wire[2] = 0b1010;
+        assert_eq!(WireHeader::decode(&wire), Err(WireError::BadFlags));
+        // No primary bit.
+        wire[2] = 0b1000;
+        assert_eq!(WireHeader::decode(&wire), Err(WireError::BadFlags));
+    }
+
+    #[test]
+    fn rejects_short_payload() {
+        let h = WireHeader::data(1, 2, 50);
+        let wire = h.encode(&[0u8; 50]);
+        // Chop ten payload bytes off.
+        assert_eq!(
+            WireHeader::decode(&wire[..wire.len() - 10]),
+            Err(WireError::BadLength)
+        );
+    }
+
+    #[test]
+    fn extra_bytes_beyond_len_ignored() {
+        let h = WireHeader::data(1, 2, 3);
+        let mut wire = h.encode(&[9, 9, 9]).to_vec();
+        wire.extend_from_slice(&[7; 20]); // trailing junk
+        let (decoded, p) = WireHeader::decode(&wire).unwrap();
+        assert_eq!(decoded.payload_len, 3);
+        assert_eq!(p, &[9, 9, 9]);
+    }
+
+    #[test]
+    fn flag_predicates() {
+        assert!(Flags::DATA.is_valid());
+        assert!(Flags::DATA.union(Flags::TRIMMED).is_valid());
+        assert!(!Flags::DATA.union(Flags::ACK).is_valid());
+        assert!(Flags::DATA.union(Flags::TRIMMED).contains(Flags::TRIMMED));
+        assert!(!Flags::ACK.contains(Flags::DATA));
+    }
+}

@@ -1,0 +1,102 @@
+//! Exact percentile computation over in-memory samples.
+//!
+//! Used when the sample count is small enough to keep everything (simulation
+//! completion times, per-run summaries). For millions of on-data-path
+//! samples use [`crate::LogHistogram`] instead.
+
+/// Returns the `p`-th percentile (0.0 ..= 100.0) of an ascending-sorted
+/// slice using linear interpolation between closest ranks (the same method
+/// as numpy's default).
+///
+/// # Panics
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted ascending"
+    );
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+}
+
+/// Sorts a copy of `samples` and returns the requested percentiles.
+///
+/// Convenience wrapper for report code; returns an empty vector when the
+/// input is empty rather than panicking, since reports may legitimately have
+/// no samples for a series.
+pub fn percentiles_of(samples: &[f64], ps: &[f64]) -> Vec<f64> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    ps.iter().map(|&p| percentile_of_sorted(&sorted, p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample() {
+        assert_eq!(percentile_of_sorted(&[5.0], 0.0), 5.0);
+        assert_eq!(percentile_of_sorted(&[5.0], 50.0), 5.0);
+        assert_eq!(percentile_of_sorted(&[5.0], 100.0), 5.0);
+    }
+
+    #[test]
+    fn endpoints_are_min_and_max() {
+        let v = [1.0, 2.0, 3.0, 10.0];
+        assert_eq!(percentile_of_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_of_sorted(&v, 100.0), 10.0);
+    }
+
+    #[test]
+    fn median_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile_of_sorted(&v, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quartiles_of_known_set() {
+        let v = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert!((percentile_of_sorted(&v, 25.0) - 20.0).abs() < 1e-9);
+        assert!((percentile_of_sorted(&v, 50.0) - 35.0).abs() < 1e-9);
+        assert!((percentile_of_sorted(&v, 75.0) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_of_unsorted_input() {
+        let out = percentiles_of(&[3.0, 1.0, 2.0], &[0.0, 50.0, 100.0]);
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn percentiles_of_empty_is_empty() {
+        assert!(percentiles_of(&[], &[50.0]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_slice_panics() {
+        percentile_of_sorted(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        percentile_of_sorted(&[1.0], 101.0);
+    }
+}

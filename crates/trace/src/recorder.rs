@@ -1,0 +1,153 @@
+//! Thread-safe latency recording for the live proxy data path.
+//!
+//! The tokio proxies record one sample per forwarded packet from multiple
+//! tasks. [`LatencyRecorder`] wraps a [`LogHistogram`] in a `parking_lot`
+//! mutex (uncontended lock ≈ one CAS, fine for the scaled-down rates we
+//! drive in tests/benches) and offers [`LatencyRecorder::time`] for scoped
+//! measurements.
+
+use crate::histogram::LogHistogram;
+use crate::Cdf;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cloneable, thread-safe latency recorder (nanosecond samples).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    inner: Arc<Mutex<LogHistogram>>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a latency expressed in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.inner.lock().record(nanos);
+    }
+
+    /// Records the elapsed time of `f` and returns its result.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record_nanos(start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count()
+    }
+
+    /// Snapshot of the underlying histogram.
+    pub fn snapshot(&self) -> LogHistogram {
+        self.inner.lock().clone()
+    }
+
+    /// Builds a [`Cdf`] of the recorded samples in **microseconds** (the
+    /// unit of Figs 4–5), one point per non-empty histogram bucket.
+    ///
+    /// Returns `None` when nothing was recorded.
+    pub fn cdf_micros(&self) -> Option<Cdf> {
+        let hist = self.inner.lock();
+        if hist.is_empty() {
+            return None;
+        }
+        let mut samples = Vec::new();
+        for (nanos, _) in hist.cdf_points() {
+            samples.push(nanos as f64 / 1000.0);
+        }
+        // cdf_points collapses duplicates; rebuild weighting by expanding the
+        // cumulative fractions into proportional sample counts so quantiles
+        // of the Cdf match the histogram.
+        let pts = hist.cdf_points();
+        let total = hist.count();
+        let mut weighted = Vec::with_capacity(total.min(100_000) as usize);
+        let mut prev = 0.0f64;
+        for (nanos, cum) in pts {
+            let weight = ((cum - prev) * total.min(100_000) as f64).round() as usize;
+            for _ in 0..weight.max(1) {
+                weighted.push(nanos as f64 / 1000.0);
+            }
+            prev = cum;
+        }
+        Some(Cdf::from_samples(weighted))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn records_and_counts() {
+        let r = LatencyRecorder::new();
+        r.record_nanos(100);
+        r.record_nanos(200);
+        assert_eq!(r.count(), 2);
+    }
+
+    #[test]
+    fn time_records_one_sample() {
+        let r = LatencyRecorder::new();
+        let v = r.time(|| 42);
+        assert_eq!(v, 42);
+        assert_eq!(r.count(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let r = LatencyRecorder::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let r = r.clone();
+                thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        r.record_nanos(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.count(), 8000);
+    }
+
+    #[test]
+    fn cdf_micros_converts_units() {
+        let r = LatencyRecorder::new();
+        for _ in 0..100 {
+            r.record_nanos(5_000); // 5 us
+        }
+        let cdf = r.cdf_micros().unwrap();
+        assert!((cdf.median() - 5.0).abs() / 5.0 < 0.02);
+    }
+
+    #[test]
+    fn cdf_micros_empty_is_none() {
+        assert!(LatencyRecorder::new().cdf_micros().is_none());
+    }
+
+    #[test]
+    fn cdf_micros_quantiles_track_histogram() {
+        let r = LatencyRecorder::new();
+        let mut rng = crate::rng::SplitMix64::new(3);
+        for _ in 0..50_000 {
+            // Bimodal: fast path ~1us, slow path ~300us, 90/10 split.
+            if rng.next_bounded(10) == 0 {
+                r.record_nanos(300_000 + rng.next_bounded(50_000));
+            } else {
+                r.record_nanos(1_000 + rng.next_bounded(500));
+            }
+        }
+        let cdf = r.cdf_micros().unwrap();
+        // Median must be on the fast mode, p99 on the slow mode.
+        assert!(cdf.median() < 5.0, "median {}", cdf.median());
+        assert!(cdf.quantile(0.99) > 200.0, "p99 {}", cdf.quantile(0.99));
+    }
+}

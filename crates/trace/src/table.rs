@@ -1,0 +1,156 @@
+//! Minimal aligned text tables for experiment output.
+//!
+//! Every figure binary prints its data both as a human-readable table (via
+//! [`Table`]) and as JSON rows, so EXPERIMENTS.md entries can be regenerated
+//! and diffed.
+
+/// An aligned, pipe-separated text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for i in 0..ncols {
+                line.push(' ');
+                line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+                line.push_str(" |");
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a duration given in seconds with an adaptive unit (us/ms/s),
+/// matching the units the paper uses in its figures.
+pub fn fmt_secs(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.2}us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:.2}s")
+    }
+}
+
+/// Formats a byte count with an adaptive unit (B/KB/MB/GB, decimal).
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b < 1e3 {
+        format!("{bytes}B")
+    } else if b < 1e6 {
+        format!("{:.0}KB", b / 1e3)
+    } else if b < 1e9 {
+        format!("{:.0}MB", b / 1e6)
+    } else {
+        format!("{:.1}GB", b / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["degree", "ICT"]);
+        t.row(vec!["4", "10.2ms"]);
+        t.row(vec!["128", "3.1ms"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(lines[0].contains("degree"));
+        assert!(lines[3].contains("128"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new(vec!["a", "b"]).row(vec!["only one"]);
+    }
+
+    #[test]
+    fn empty_table_renders_header() {
+        let t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn fmt_secs_units() {
+        assert_eq!(fmt_secs(0.0000005), "0.50us");
+        assert_eq!(fmt_secs(0.0123), "12.30ms");
+        assert_eq!(fmt_secs(12.02), "12.02s");
+    }
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(20_000), "20KB");
+        assert_eq!(fmt_bytes(100_000_000), "100MB");
+        assert_eq!(fmt_bytes(2_500_000_000), "2.5GB");
+    }
+}

@@ -1,0 +1,136 @@
+//! Step-function time-series utilities for queue-occupancy traces.
+//!
+//! A trace is a sequence of `(timestamp, value)` samples where each value
+//! holds until the next sample (the shape produced by
+//! `dcsim::sim::Simulator::port_trace`). These helpers compute the
+//! summary statistics the congestion-point analyses report.
+
+/// Maximum value observed in a step trace (0 for an empty trace).
+pub fn step_max(trace: &[(u64, u64)]) -> u64 {
+    trace.iter().map(|&(_, v)| v).max().unwrap_or(0)
+}
+
+/// Time-weighted mean of a step trace over `[0, end]`: each sample's value
+/// holds from its timestamp to the next (the last holds until `end`), and
+/// the value before the first sample is 0.
+///
+/// # Panics
+/// Panics if timestamps are not non-decreasing or exceed `end`.
+pub fn step_mean(trace: &[(u64, u64)], end: u64) -> f64 {
+    if end == 0 || trace.is_empty() {
+        return 0.0;
+    }
+    let mut weighted = 0u128;
+    let mut prev_t = 0u64;
+    let mut prev_v = 0u64;
+    for &(t, v) in trace {
+        assert!(t >= prev_t, "timestamps must be non-decreasing");
+        assert!(t <= end, "sample beyond end");
+        weighted += prev_v as u128 * (t - prev_t) as u128;
+        prev_t = t;
+        prev_v = v;
+    }
+    weighted += prev_v as u128 * (end - prev_t) as u128;
+    weighted as f64 / end as f64
+}
+
+/// Bins a step trace into `bins` equal windows over `[0, end]`, returning
+/// the maximum value in each (0 for windows without samples — suitable
+/// for coarse occupancy timelines).
+///
+/// # Panics
+/// Panics if `bins == 0` or `end == 0`.
+pub fn step_bin_max(trace: &[(u64, u64)], end: u64, bins: usize) -> Vec<u64> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(end > 0, "empty interval");
+    let mut out = vec![0u64; bins];
+    for &(t, v) in trace {
+        let idx = ((t as u128 * bins as u128 / end as u128) as usize).min(bins - 1);
+        out[idx] = out[idx].max(v);
+    }
+    out
+}
+
+/// Fraction of `[0, end]` during which the step trace is above
+/// `threshold` (e.g. "how long was the queue effectively full?").
+pub fn step_fraction_above(trace: &[(u64, u64)], end: u64, threshold: u64) -> f64 {
+    if end == 0 {
+        return 0.0;
+    }
+    let mut above = 0u128;
+    let mut prev_t = 0u64;
+    let mut prev_v = 0u64;
+    for &(t, v) in trace {
+        if prev_v > threshold {
+            above += (t - prev_t) as u128;
+        }
+        prev_t = t;
+        prev_v = v;
+    }
+    if prev_v > threshold {
+        above += (end.saturating_sub(prev_t)) as u128;
+    }
+    above as f64 / end as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &[(u64, u64)] = &[(10, 100), (20, 50), (40, 0)];
+
+    #[test]
+    fn max_of_trace() {
+        assert_eq!(step_max(TRACE), 100);
+        assert_eq!(step_max(&[]), 0);
+    }
+
+    #[test]
+    fn mean_is_time_weighted() {
+        // 0 for t in [0,10), 100 for [10,20), 50 for [20,40), 0 for [40,100].
+        // Mean over [0,100] = (100*10 + 50*20) / 100 = 20.
+        assert!((step_mean(TRACE, 100) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_extends_last_value() {
+        let trace = [(0u64, 10u64)];
+        assert!((step_mean(&trace, 50) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(step_mean(&[], 100), 0.0);
+        assert_eq!(step_mean(TRACE, 0), 0.0);
+    }
+
+    #[test]
+    fn bin_max_places_samples() {
+        let bins = step_bin_max(TRACE, 100, 10);
+        assert_eq!(bins[1], 100); // t=10
+        assert_eq!(bins[2], 50); // t=20
+        assert_eq!(bins[4], 0); // t=40 sample has value 0
+        assert_eq!(bins[9], 0);
+    }
+
+    #[test]
+    fn bin_max_clamps_end_sample() {
+        let trace = [(100u64, 7u64)];
+        let bins = step_bin_max(&trace, 100, 4);
+        assert_eq!(bins[3], 7, "sample at end lands in the last bin");
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        // Above 60 only during [10,20) -> 10% of [0,100].
+        assert!((step_fraction_above(TRACE, 100, 60) - 0.1).abs() < 1e-12);
+        // Above 0 during [10,40) -> 30%.
+        assert!((step_fraction_above(TRACE, 100, 0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_trace_panics() {
+        step_mean(&[(10, 1), (5, 2)], 100);
+    }
+}
