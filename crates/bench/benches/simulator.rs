@@ -3,8 +3,8 @@
 //! These keep the figure binaries' runtimes honest as the code evolves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use incast_core::{run_incast, ExperimentConfig, Scheme};
 use dcsim::topology::TwoDcParams;
+use incast_core::{run_incast, ExperimentConfig, Scheme};
 
 fn bench_incast_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_incast");

@@ -25,11 +25,7 @@ struct Point {
     reduction_vs_baseline: f64,
 }
 
-fn run_with_background(
-    scheme: Scheme,
-    background_flows: usize,
-    seed: u64,
-) -> f64 {
+fn run_with_background(scheme: Scheme, background_flows: usize, seed: u64) -> f64 {
     let config = ExperimentConfig {
         scheme,
         degree: 8,
@@ -43,7 +39,9 @@ fn run_with_background(
     let mut sim = Simulator::new(topo, seed);
     let spec = config.placement(sim.topology());
     // Background endpoints: everything not in the incast.
-    let mut hosts: Vec<HostId> = (0..sim.topology().host_count() as u32).map(HostId).collect();
+    let mut hosts: Vec<HostId> = (0..sim.topology().host_count() as u32)
+        .map(HostId)
+        .collect();
     hosts.retain(|h| !spec.senders.contains(h) && *h != spec.receiver && Some(*h) != spec.proxy);
     if background_flows > 0 {
         BackgroundTraffic {
@@ -56,7 +54,10 @@ fn run_with_background(
         .install(&mut sim);
     }
     let handle = install_incast(&mut sim, &spec, scheme);
-    sim.run(Some(SimTime::ZERO + SimDuration::from_secs(600)));
+    bench::expect_no_event_cap(
+        sim.run(Some(SimTime::ZERO + SimDuration::from_secs(600))),
+        "background-traffic ablation",
+    );
     handle
         .completion(sim.metrics())
         .expect("incast completes")
@@ -69,9 +70,18 @@ fn main() {
         "Ablation: background traffic",
         "degree-8, 100 MB incast sharing the network with web-search-style flows",
     );
-    let levels: &[usize] = if opts.quick { &[0, 128] } else { &[0, 64, 256, 512] };
+    let levels: &[usize] = if opts.quick {
+        &[0, 128]
+    } else {
+        &[0, 64, 256, 512]
+    };
 
-    let mut table = Table::new(vec!["background flows", "scheme", "ICT mean", "vs baseline"]);
+    let mut table = Table::new(vec![
+        "background flows",
+        "scheme",
+        "ICT mean",
+        "vs baseline",
+    ]);
     for &flows in levels {
         let mut baseline_mean = None;
         for scheme in Scheme::ALL {

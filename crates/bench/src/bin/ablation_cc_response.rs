@@ -32,7 +32,10 @@ fn main() {
 
     let mut table = Table::new(vec!["ECN response", "scheme", "ICT mean"]);
     for (label, response) in [
-        ("DCTCP alpha (g=1/16)", EcnResponse::DctcpAlpha { g: 1.0 / 16.0 }),
+        (
+            "DCTCP alpha (g=1/16)",
+            EcnResponse::DctcpAlpha { g: 1.0 / 16.0 },
+        ),
         ("halve per round", EcnResponse::HalvePerRound),
     ] {
         for scheme in Scheme::ALL {

@@ -33,7 +33,11 @@ fn main() {
         "Ablation: detector-based proxy (FW#1)",
         "loss inference vs trimming support (degree 8, 100 MB), across path jitter",
     );
-    let jitters: &[f64] = if opts.quick { &[0.0] } else { &[0.0, 0.25, 0.5] };
+    let jitters: &[f64] = if opts.quick {
+        &[0.0]
+    } else {
+        &[0.0, 0.25, 0.5]
+    };
     let thresholds: &[u32] = if opts.quick { &[8] } else { &[3, 8, 32] };
 
     let mut table = Table::new(vec!["path jitter", "variant", "ICT mean", "vs trimming"]);
@@ -77,7 +81,11 @@ fn main() {
             );
         };
 
-        run("streamlined (trimming)".into(), Scheme::ProxyStreamlined, None);
+        run(
+            "streamlined (trimming)".into(),
+            Scheme::ProxyStreamlined,
+            None,
+        );
         for &threshold in thresholds {
             run(
                 format!("detecting (no trim, thresh={threshold})"),

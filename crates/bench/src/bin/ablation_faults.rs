@@ -1,0 +1,140 @@
+//! Ablation: proxy-crash timing vs incast completion time.
+//!
+//! The proxy is a single point of failure on the detour path: if the host
+//! dies mid-incast, every flow's data and feedback blackhole there. This
+//! sweep crashes the proxy at different fractions of the fault-free
+//! completion time and measures the cost of surviving it via sender-side
+//! failover (silence detection, direct-path fallback, proxy re-probing).
+//! Baseline (direct path, no proxy) is immune by construction and serves
+//! as the reference.
+//!
+//! Run with: `cargo run --release -p bench --bin ablation_faults [--quick]`
+
+use bench::{banner, emit_json, RunOptions};
+use dcsim::prelude::*;
+use incast_core::experiment::FaultScenario;
+use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use serde::Serialize;
+use trace::table::fmt_secs;
+use trace::Table;
+
+#[derive(Serialize)]
+struct Point {
+    scheme: String,
+    crash_fraction: f64,
+    mean_secs: f64,
+    slowdown: f64,
+    failover_activations: u64,
+    packets_lost_to_fault: u64,
+    failover_latency_max_secs: f64,
+}
+
+fn config_for(scheme: Scheme, degree: usize, seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        scheme,
+        degree,
+        total_bytes: 100_000_000,
+        seed,
+        failover: Some(FailoverConfig::default()),
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    banner(
+        "Ablation: proxy crash",
+        "crash the proxy mid-incast; sender failover keeps flows alive (100 MB)",
+    );
+    let degree = 8;
+    let fractions: &[f64] = if opts.quick {
+        &[0.25, 0.75]
+    } else {
+        &[0.1, 0.25, 0.5, 0.75]
+    };
+    let schemes = [
+        Scheme::ProxyStreamlined,
+        Scheme::ProxyDetecting,
+        Scheme::Baseline,
+    ];
+
+    let mut table = Table::new(vec![
+        "scheme",
+        "crash at",
+        "ICT mean",
+        "slowdown",
+        "failovers",
+        "lost pkts",
+        "max failover lat",
+    ]);
+    for scheme in schemes {
+        let config = config_for(scheme, degree, opts.seed);
+        let (healthy, _) = run_repeated(&config, opts.runs);
+        table.row(vec![
+            scheme.to_string(),
+            "never".to_string(),
+            fmt_secs(healthy.mean),
+            "1.00x".to_string(),
+            "0".to_string(),
+            "0".to_string(),
+            "-".to_string(),
+        ]);
+        emit_json(
+            "ablation_faults",
+            &Point {
+                scheme: scheme.to_string(),
+                crash_fraction: f64::NAN,
+                mean_secs: healthy.mean,
+                slowdown: 1.0,
+                failover_activations: 0,
+                packets_lost_to_fault: 0,
+                failover_latency_max_secs: 0.0,
+            },
+        );
+        for &frac in fractions {
+            let mut config = config_for(scheme, degree, opts.seed);
+            config.faults = FaultScenario::ProxyCrash {
+                after: SimDuration::from_secs_f64(frac * healthy.mean),
+                restore_after: None,
+            };
+            let (summary, outcomes) = run_repeated(&config, opts.runs);
+            let failovers: u64 = outcomes.iter().map(|o| o.failover_activations).sum();
+            let lost: u64 = outcomes.iter().map(|o| o.packets_lost_to_fault).sum();
+            let max_lat = outcomes
+                .iter()
+                .map(|o| o.failover_latency_max_secs)
+                .fold(0.0, f64::max);
+            table.row(vec![
+                scheme.to_string(),
+                format!("{:.0}% of ICT", frac * 100.0),
+                fmt_secs(summary.mean),
+                format!("{:.2}x", summary.mean / healthy.mean),
+                failovers.to_string(),
+                lost.to_string(),
+                if max_lat > 0.0 {
+                    fmt_secs(max_lat)
+                } else {
+                    "-".to_string()
+                },
+            ]);
+            emit_json(
+                "ablation_faults",
+                &Point {
+                    scheme: scheme.to_string(),
+                    crash_fraction: frac,
+                    mean_secs: summary.mean,
+                    slowdown: summary.mean / healthy.mean,
+                    failover_activations: failovers,
+                    packets_lost_to_fault: lost,
+                    failover_latency_max_secs: max_lat,
+                },
+            );
+        }
+    }
+    print!("{}", table.render());
+    println!();
+    println!("expected: Baseline is flat (no proxy to lose); proxied schemes pay");
+    println!("a silence-detection delay (~3 RTOs) plus direct-path retransmission");
+    println!("of everything stranded at the dead proxy — earlier crashes cost more");
+    println!("because more of the transfer must be redone without the detour.");
+}

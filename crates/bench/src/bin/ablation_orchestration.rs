@@ -53,10 +53,17 @@ fn run_concurrent(proxies: &[HostId], seed: u64) -> f64 {
         let spec = IncastSpec::new(dc0[lo..lo + DEGREE].to_vec(), dc1[i], BYTES).with_proxy(proxy);
         handles.push(install_incast(&mut sim, &spec, Scheme::ProxyStreamlined));
     }
-    sim.run(Some(SimTime::ZERO + SimDuration::from_secs(600)));
+    bench::expect_no_event_cap(
+        sim.run(Some(SimTime::ZERO + SimDuration::from_secs(600))),
+        "orchestration ablation",
+    );
     handles
         .iter()
-        .map(|h| h.completion(sim.metrics()).expect("completes").as_secs_f64())
+        .map(|h| {
+            h.completion(sim.metrics())
+                .expect("completes")
+                .as_secs_f64()
+        })
         .fold(0.0, f64::max)
 }
 
@@ -148,7 +155,10 @@ fn main() {
     let max = candidates.iter().map(|&c| global.load_of(c)).max().unwrap();
     report("global orchestrator", max, trials as f64 / 256.0, 0);
 
-    for (label, p) in [("decentralized k=2, fresh", 0.0), ("decentralized k=2, stale p=0.3", 0.3)] {
+    for (label, p) in [
+        ("decentralized k=2, fresh", 0.0),
+        ("decentralized k=2, stale p=0.3", 0.3),
+    ] {
         let mut dec = DecentralizedSelector::new(candidates.clone(), 2, opts.seed)
             .with_conflict_probability(p);
         let mut trials = 0u64;

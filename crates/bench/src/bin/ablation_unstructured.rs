@@ -55,7 +55,10 @@ fn run(scheme: Scheme, threshold: u32, seed: u64) -> f64 {
         ..Default::default()
     };
     let handle = install_incast(&mut sim, &spec, scheme);
-    sim.run(Some(SimTime::ZERO + SimDuration::from_secs(600)));
+    bench::expect_no_event_cap(
+        sim.run(Some(SimTime::ZERO + SimDuration::from_secs(600))),
+        "unstructured-traffic ablation",
+    );
     handle
         .completion(sim.metrics())
         .expect("incast completes")
@@ -73,7 +76,11 @@ fn main() {
     let mut cases: Vec<(String, Scheme, u32)> = vec![
         ("baseline".into(), Scheme::Baseline, 8),
         ("proxy (naive)".into(), Scheme::ProxyNaive, 8),
-        ("proxy (streamlined, trimming)".into(), Scheme::ProxyStreamlined, 8),
+        (
+            "proxy (streamlined, trimming)".into(),
+            Scheme::ProxyStreamlined,
+            8,
+        ),
     ];
     let thresholds: &[u32] = if opts.quick { &[8] } else { &[3, 8, 32] };
     for &t in thresholds {

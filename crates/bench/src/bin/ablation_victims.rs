@@ -56,7 +56,10 @@ fn run(scheme: Scheme, with_incast: bool, seed: u64) -> (f64, f64) {
         dcsim::flows::FlowSpec::new(dc1[1], spec.receiver, VICTIM_BYTES),
         SimTime::ZERO + VICTIM_START,
     );
-    sim.run(Some(SimTime::ZERO + config.time_limit));
+    bench::expect_no_event_cap(
+        sim.run(Some(SimTime::ZERO + config.time_limit)),
+        "victim-flows ablation",
+    );
     let victim_fct = sim
         .metrics()
         .completion(victim.flow)
@@ -64,7 +67,11 @@ fn run(scheme: Scheme, with_incast: bool, seed: u64) -> (f64, f64) {
         .since(SimTime::ZERO + VICTIM_START)
         .as_secs_f64();
     let ict = incast
-        .map(|h| h.completion(sim.metrics()).expect("incast completes").as_secs_f64())
+        .map(|h| {
+            h.completion(sim.metrics())
+                .expect("incast completes")
+                .as_secs_f64()
+        })
         .unwrap_or(0.0);
     (victim_fct, ict)
 }
@@ -79,7 +86,12 @@ fn main() {
     let (solo, _) = run(Scheme::Baseline, false, opts.seed);
     println!("victim FCT with no incast: {}\n", fmt_secs(solo));
 
-    let mut table = Table::new(vec!["scheme", "victim FCT", "slowdown vs solo", "incast ICT"]);
+    let mut table = Table::new(vec![
+        "scheme",
+        "victim FCT",
+        "slowdown vs solo",
+        "incast ICT",
+    ]);
     for scheme in Scheme::ALL {
         let mut fcts = Vec::new();
         let mut icts = Vec::new();

@@ -35,12 +35,7 @@ fn main() {
         "queue occupancy at the receiver vs proxy down-ToR (degree 8, 100 MB)",
     );
 
-    let mut table = Table::new(vec![
-        "scheme",
-        "queue",
-        "max occupancy",
-        "mean occupancy",
-    ]);
+    let mut table = Table::new(vec!["scheme", "queue", "max occupancy", "mean occupancy"]);
     for scheme in Scheme::ALL {
         let config = ExperimentConfig {
             scheme,
@@ -56,11 +51,16 @@ fn main() {
         let mut sim = Simulator::new(topo, opts.seed);
         let spec = config.placement(sim.topology());
         let rx_port = sim.topology().down_tor_port(spec.receiver);
-        let px_port = sim.topology().down_tor_port(spec.proxy.expect("placement sets proxy"));
+        let px_port = sim
+            .topology()
+            .down_tor_port(spec.proxy.expect("placement sets proxy"));
         sim.trace_port(rx_port);
         sim.trace_port(px_port);
         let handle = install_incast(&mut sim, &spec, scheme);
-        sim.run(Some(SimTime::ZERO + config.time_limit));
+        bench::expect_no_event_cap(
+            sim.run(Some(SimTime::ZERO + config.time_limit)),
+            "congestion-point sweep",
+        );
         let end = handle.completion(sim.metrics()).expect("completes");
         for (name, port) in [("receiver down-ToR", rx_port), ("proxy down-ToR", px_port)] {
             let samples: Vec<(u64, u64)> = sim

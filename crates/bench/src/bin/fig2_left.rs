@@ -35,7 +35,14 @@ fn main() {
         &[2, 4, 8, 16, 32, 63]
     };
 
-    let mut table = Table::new(vec!["degree", "scheme", "ICT mean", "min", "max", "vs baseline"]);
+    let mut table = Table::new(vec![
+        "degree",
+        "scheme",
+        "ICT mean",
+        "min",
+        "max",
+        "vs baseline",
+    ]);
     let mut naive_reductions = Vec::new();
     let mut streamlined_reductions = Vec::new();
 

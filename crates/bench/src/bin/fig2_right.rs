@@ -36,7 +36,14 @@ fn main() {
         &[20, 40, 60, 100, 150, 200]
     };
 
-    let mut table = Table::new(vec!["size", "scheme", "ICT mean", "min", "max", "vs baseline"]);
+    let mut table = Table::new(vec![
+        "size",
+        "scheme",
+        "ICT mean",
+        "min",
+        "max",
+        "vs baseline",
+    ]);
     let mut naive_reductions = Vec::new();
     let mut streamlined_reductions = Vec::new();
 

@@ -123,9 +123,11 @@ fn run_once(cli: &Cli, scheme: Scheme, seed: u64) -> (f64, u64, u64) {
     let mut sim = Simulator::new(topo, seed);
     let spec = config.placement(sim.topology());
     if cli.background > 0 {
-        let mut hosts: Vec<HostId> =
-            (0..sim.topology().host_count() as u32).map(HostId).collect();
-        hosts.retain(|h| !spec.senders.contains(h) && *h != spec.receiver && Some(*h) != spec.proxy);
+        let mut hosts: Vec<HostId> = (0..sim.topology().host_count() as u32)
+            .map(HostId)
+            .collect();
+        hosts
+            .retain(|h| !spec.senders.contains(h) && *h != spec.receiver && Some(*h) != spec.proxy);
         BackgroundTraffic {
             flows: cli.background,
             sizes: FlowSizeDist::WebSearch,
@@ -136,13 +138,20 @@ fn run_once(cli: &Cli, scheme: Scheme, seed: u64) -> (f64, u64, u64) {
         .install(&mut sim);
     }
     let handle = install_incast(&mut sim, &spec, scheme);
-    sim.run(Some(SimTime::ZERO + config.time_limit));
+    bench::expect_no_event_cap(
+        sim.run(Some(SimTime::ZERO + config.time_limit)),
+        "simulate run",
+    );
     let ict = handle
         .completion(sim.metrics())
         .expect("incast must complete within the time limit")
         .as_secs_f64();
     let m = sim.metrics();
-    (ict, m.counter(Counter::RtoFires), m.counter(Counter::Retransmits))
+    (
+        ict,
+        m.counter(Counter::RtoFires),
+        m.counter(Counter::Retransmits),
+    )
 }
 
 fn main() {
@@ -189,6 +198,9 @@ fn main() {
     print!("{}", table.render());
     if let Some(base) = baseline_mean {
         println!();
-        println!("baseline mean: {} — reductions are relative to it", fmt_secs(base));
+        println!(
+            "baseline mean: {} — reductions are relative to it",
+            fmt_secs(base)
+        );
     }
 }

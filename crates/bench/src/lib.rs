@@ -62,6 +62,24 @@ impl RunOptions {
     }
 }
 
+/// Hard-fails the binary when a simulation stopped on the event-count
+/// safety cap. The cap exists to catch livelocks; a capped run is never a
+/// valid data point, so the process exits non-zero instead of emitting a
+/// silently-truncated figure. Returns the report unchanged otherwise, so
+/// call sites can chain on it.
+pub fn expect_no_event_cap(report: dcsim::sim::RunReport, context: &str) -> dcsim::sim::RunReport {
+    if report.stop == dcsim::sim::StopReason::EventCap {
+        eprintln!(
+            "fatal: event cap exhausted ({} events, simulated time {}) during {context} — \
+             this indicates a livelock (or an undersized cap via set_event_cap); \
+             the figure data would be truncated, aborting",
+            report.events, report.end_time
+        );
+        std::process::exit(2);
+    }
+    report
+}
+
 /// Emits one machine-readable data point (JSON-prefixed line).
 pub fn emit_json<T: Serialize>(figure: &str, point: &T) {
     println!(

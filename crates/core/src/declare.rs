@@ -214,7 +214,10 @@ pub fn compile(
     let mut plans = Vec::with_capacity(decls.len());
     for (i, decl) in decls.iter().enumerate() {
         let resolve = |c: &Component| -> Result<HostId, PlanError> {
-            placement.get(c).copied().ok_or_else(|| PlanError::Unplaced(c.clone()))
+            placement
+                .get(c)
+                .copied()
+                .ok_or_else(|| PlanError::Unplaced(c.clone()))
         };
         let senders: Vec<HostId> = decl.sources.iter().map(resolve).collect::<Result<_, _>>()?;
         let receiver = resolve(&decl.sink)?;
@@ -239,7 +242,9 @@ pub fn compile(
                     receiver,
                     expected_bytes: decl.expected_bytes,
                 };
-                let assignment = selector.select(&request).ok_or(PlanError::NoProxyAvailable)?;
+                let assignment = selector
+                    .select(&request)
+                    .ok_or(PlanError::NoProxyAvailable)?;
                 (
                     Routing::ViaProxy(assignment.proxy),
                     prediction.estimated_reduction,
@@ -324,11 +329,19 @@ mod tests {
     #[test]
     fn builder_rejects_ambiguity() {
         assert_eq!(
-            IncastDecl::named("x").source("a").expected_bytes(1).build().unwrap_err(),
+            IncastDecl::named("x")
+                .source("a")
+                .expected_bytes(1)
+                .build()
+                .unwrap_err(),
             PlanError::MissingSink
         );
         assert_eq!(
-            IncastDecl::named("x").sink("s").expected_bytes(1).build().unwrap_err(),
+            IncastDecl::named("x")
+                .sink("s")
+                .expected_bytes(1)
+                .build()
+                .unwrap_err(),
             PlanError::NoSources
         );
         assert_eq!(
@@ -350,7 +363,11 @@ mod tests {
             PlanError::DuplicateSource
         );
         assert_eq!(
-            IncastDecl::named("x").source("a").sink("s").build().unwrap_err(),
+            IncastDecl::named("x")
+                .source("a")
+                .sink("s")
+                .build()
+                .unwrap_err(),
             PlanError::MissingVolume
         );
     }
@@ -373,7 +390,11 @@ mod tests {
     fn cross_dc_small_incast_stays_direct() {
         let (topo, placement, mut orch) = setup();
         let plans = compile(&[decl(20_000_000)], &placement, &topo, &mut orch).unwrap();
-        assert_eq!(plans[0].routing, Routing::Direct, "§4.2: 20 MB gains nothing");
+        assert_eq!(
+            plans[0].routing,
+            Routing::Direct,
+            "§4.2: 20 MB gains nothing"
+        );
     }
 
     #[test]

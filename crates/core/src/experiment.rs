@@ -7,6 +7,36 @@ use dcsim::prelude::*;
 use serde::{Deserialize, Serialize};
 use trace::{derive_seed, Summary};
 
+/// An infrastructure fault injected into an experiment run, expressed
+/// relative to the incast start so one scenario applies across sweeps.
+/// Translated into a concrete [`FaultPlan`] once the incast is installed
+/// and the proxy agent / relevant ports are known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FaultScenario {
+    /// No faults (the default; keeps runs bit-identical to builds without
+    /// fault support).
+    #[default]
+    None,
+    /// Crash the proxy host `after` the incast starts; restore it
+    /// `restore_after` the crash (`None`: stays dead). Ignored by schemes
+    /// without a shared proxy agent (Baseline, Naive).
+    ProxyCrash {
+        /// Crash time relative to the incast start.
+        after: SimDuration,
+        /// Restart delay relative to the crash (`None`: no restart).
+        restore_after: Option<SimDuration>,
+    },
+    /// Take the receiver's down-ToR link (the last hop every incast flow
+    /// crosses) down `after` the incast starts, back up `up_after` the
+    /// outage began.
+    ReceiverLinkFlap {
+        /// Outage start relative to the incast start.
+        after: SimDuration,
+        /// Outage duration.
+        up_after: SimDuration,
+    },
+}
+
 /// Whether switches trim packets to headers instead of dropping.
 ///
 /// §4.1 enables trimming only for the Streamlined scheme; Baseline and
@@ -60,6 +90,11 @@ pub struct ExperimentConfig {
     pub detector: crate::lossdetect::LossDetectorConfig,
     /// Sender transport.
     pub transport: crate::scheme::Transport,
+    /// Fault scenario injected into each run (default: none).
+    pub faults: FaultScenario,
+    /// Sender-side proxy failover (default: off). Required for proxied
+    /// incasts to survive [`FaultScenario::ProxyCrash`] without a restore.
+    pub failover: Option<FailoverConfig>,
     /// Safety limit on simulated time (a run exceeding it is a bug or a
     /// pathological configuration — the harness panics loudly).
     pub time_limit: SimDuration,
@@ -80,6 +115,8 @@ impl Default for ExperimentConfig {
             ecn_response: dcsim::protocol::dctcp::EcnResponse::default(),
             detector: crate::lossdetect::LossDetectorConfig::default(),
             transport: crate::scheme::Transport::WindowedDctcp,
+            faults: FaultScenario::None,
+            failover: None,
             time_limit: SimDuration::from_secs(600),
         }
     }
@@ -111,6 +148,7 @@ impl ExperimentConfig {
         spec.ecn_response = self.ecn_response;
         spec.detector = self.detector;
         spec.transport = self.transport;
+        spec.failover = self.failover;
         spec
     }
 }
@@ -130,6 +168,17 @@ pub struct IncastOutcome {
     pub retransmits: u64,
     /// Multiplicative decreases applied.
     pub window_decreases: u64,
+    /// Sender-side proxy failovers activated.
+    pub failover_activations: u64,
+    /// Sender-side failbacks to a recovered proxy.
+    pub failbacks: u64,
+    /// Probe packets sent through a proxy believed dead.
+    pub proxy_probes: u64,
+    /// Packets destroyed by injected faults.
+    pub packets_lost_to_fault: u64,
+    /// Largest failover latency across flows, in seconds (0 if no flow
+    /// failed over): silence start to path switch.
+    pub failover_latency_max_secs: f64,
     /// Events processed (simulator work, useful for perf tracking).
     pub events: u64,
 }
@@ -141,13 +190,29 @@ pub struct IncastOutcome {
 /// experiments are sized so that completion is guaranteed; not completing
 /// indicates a bug.
 pub fn run_incast(config: &ExperimentConfig, seed: u64) -> IncastOutcome {
-    let params = config.topo.with_trim(config.trim.enabled_for(config.scheme));
+    let params = config
+        .topo
+        .with_trim(config.trim.enabled_for(config.scheme));
     let topo = two_dc_leaf_spine(&params);
     let mut sim = Simulator::new(topo, seed);
     let spec = config.placement(sim.topology());
     let handle = install_incast(&mut sim, &spec, config.scheme);
+    if let Some(plan) = fault_plan_for(config, &spec, &handle, &sim) {
+        sim.install_faults(&plan)
+            .unwrap_or_else(|e| panic!("invalid fault scenario {:?}: {e}", config.faults));
+    }
     let limit = spec.start + config.time_limit;
     let report = sim.run(Some(limit));
+    if report.stop == StopReason::EventCap {
+        // The cap exists to catch livelocks (e.g. two agents ping-ponging
+        // packets forever). Hitting it is always a bug, never a result.
+        panic!(
+            "event cap exhausted (livelock?): scheme={} degree={} bytes={} \
+             events={} at {} — raise the cap only if the workload is \
+             legitimately this large",
+            config.scheme, config.degree, config.total_bytes, report.events, report.end_time
+        );
+    }
     let completion = handle.completion(sim.metrics()).unwrap_or_else(|| {
         panic!(
             "incast did not complete: scheme={} degree={} bytes={} stop={:?} at {}",
@@ -162,7 +227,47 @@ pub fn run_incast(config: &ExperimentConfig, seed: u64) -> IncastOutcome {
         rto_fires: m.counter(Counter::RtoFires),
         retransmits: m.counter(Counter::Retransmits),
         window_decreases: m.counter(Counter::WindowDecreases),
+        failover_activations: m.counter(Counter::FailoverActivations),
+        failbacks: m.counter(Counter::Failbacks),
+        proxy_probes: m.counter(Counter::ProxyProbes),
+        packets_lost_to_fault: m.counter(Counter::PacketsLostToFault),
+        failover_latency_max_secs: m
+            .all_failover_latencies()
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .fold(0.0, f64::max),
         events: m.events_processed,
+    }
+}
+
+/// Translates the config's [`FaultScenario`] into a concrete [`FaultPlan`]
+/// against the installed incast. Returns `None` when there is nothing to
+/// inject — including a proxy crash under a scheme with no shared proxy
+/// agent — so fault-free runs never touch the fault machinery.
+fn fault_plan_for(
+    config: &ExperimentConfig,
+    spec: &IncastSpec,
+    handle: &crate::scheme::IncastHandle,
+    sim: &Simulator,
+) -> Option<FaultPlan> {
+    match config.faults {
+        FaultScenario::None => None,
+        FaultScenario::ProxyCrash {
+            after,
+            restore_after,
+        } => {
+            let agent = handle.proxy_agent?;
+            let at = spec.start + after;
+            Some(match restore_after {
+                Some(r) => FaultPlan::new().crash_agent_window(agent, at, at + r),
+                None => FaultPlan::new().crash_agent(agent, at),
+            })
+        }
+        FaultScenario::ReceiverLinkFlap { after, up_after } => {
+            let port = sim.topology().down_tor_port(spec.receiver);
+            let down = spec.start + after;
+            Some(FaultPlan::new().link_down_window(port, down, down + up_after))
+        }
     }
 }
 
@@ -223,6 +328,66 @@ mod tests {
         assert_eq!(summary.count, 3);
         assert_eq!(outcomes.len(), 3);
         assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+    }
+
+    #[test]
+    fn proxy_crash_with_failover_completes() {
+        for scheme in [Scheme::ProxyStreamlined, Scheme::ProxyDetecting] {
+            let mut cfg = fast_config(scheme);
+            cfg.faults = FaultScenario::ProxyCrash {
+                after: SimDuration::from_micros(50),
+                restore_after: None,
+            };
+            cfg.failover = Some(FailoverConfig::default());
+            let out = run_incast(&cfg, 7);
+            // `completion` returning Some means zero permanently-stalled
+            // flows: every sender finished despite the dead proxy.
+            assert!(out.completion_secs > 0.0, "{scheme}: {out:?}");
+            assert!(out.failover_activations > 0, "{scheme}: {out:?}");
+            assert!(out.failover_latency_max_secs > 0.0, "{scheme}: {out:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "did not complete")]
+    fn proxy_crash_without_failover_stalls() {
+        let mut cfg = fast_config(Scheme::ProxyStreamlined);
+        cfg.faults = FaultScenario::ProxyCrash {
+            after: SimDuration::from_micros(50),
+            restore_after: None,
+        };
+        cfg.time_limit = SimDuration::from_millis(50);
+        run_incast(&cfg, 7);
+    }
+
+    #[test]
+    fn proxy_crash_ignored_without_proxy_agent() {
+        let mut cfg = fast_config(Scheme::Baseline);
+        cfg.faults = FaultScenario::ProxyCrash {
+            after: SimDuration::from_micros(50),
+            restore_after: None,
+        };
+        cfg.failover = Some(FailoverConfig::default());
+        let out = run_incast(&cfg, 1);
+        let base = run_incast(&fast_config(Scheme::Baseline), 1);
+        // Baseline has no shared proxy agent: the scenario is a no-op and
+        // the run stays bit-identical to a fault-free one.
+        assert_eq!(out.completion_secs, base.completion_secs);
+        assert_eq!(out.events, base.events);
+        assert_eq!(out.failover_activations, 0);
+        assert_eq!(out.packets_lost_to_fault, 0);
+    }
+
+    #[test]
+    fn receiver_link_flap_completes() {
+        let mut cfg = fast_config(Scheme::ProxyStreamlined);
+        cfg.faults = FaultScenario::ReceiverLinkFlap {
+            after: SimDuration::from_micros(100),
+            up_after: SimDuration::from_micros(500),
+        };
+        let out = run_incast(&cfg, 3);
+        assert!(out.completion_secs > 0.0, "{out:?}");
+        assert!(out.packets_lost_to_fault > 0, "{out:?}");
     }
 
     #[test]

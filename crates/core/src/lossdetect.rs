@@ -155,6 +155,11 @@ impl LossDetector {
         }
     }
 
+    /// The configuration this detector was built with.
+    pub fn config(&self) -> LossDetectorConfig {
+        self.config
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> LossDetectorStats {
         self.stats
@@ -176,8 +181,7 @@ impl LossDetector {
         match state.highest {
             None => {
                 // First packet: everything below it is a gap.
-                evicted =
-                    Self::push_gaps(state, 0, seq, self.config.max_pending, &mut self.stats);
+                evicted = Self::push_gaps(state, 0, seq, self.config.max_pending, &mut self.stats);
                 state.highest = Some(seq);
             }
             Some(h) if seq > h => {

@@ -53,6 +53,16 @@ pub trait ProxySelector {
 
     /// Current load (bytes of active incasts) on a proxy candidate.
     fn load_of(&self, proxy: HostId) -> u64;
+
+    /// Marks a proxy as unhealthy (e.g. a sender reported failover away
+    /// from it); unhealthy proxies are skipped by future selections until
+    /// [`ProxySelector::report_healthy`] clears them. Default: no-op, for
+    /// selectors without health tracking.
+    fn report_unhealthy(&mut self, _proxy: HostId) {}
+
+    /// Clears an unhealthy mark (e.g. a sender failed back after the proxy
+    /// recovered). Default: no-op.
+    fn report_healthy(&mut self, _proxy: HostId) {}
 }
 
 fn eligible(candidate: HostId, request: &IncastRequest) -> bool {
@@ -68,6 +78,8 @@ pub struct GlobalOrchestrator {
     load: HashMap<HostId, u64>,
     /// Active assignment per incast id.
     active: HashMap<u64, (HostId, u64)>,
+    /// Candidates reported unhealthy; excluded until reported healthy.
+    unhealthy: Vec<HostId>,
 }
 
 impl GlobalOrchestrator {
@@ -86,12 +98,18 @@ impl GlobalOrchestrator {
             candidates,
             load,
             active: HashMap::new(),
+            unhealthy: Vec::new(),
         }
     }
 
     /// Number of incasts currently assigned.
     pub fn active_incasts(&self) -> usize {
         self.active.len()
+    }
+
+    /// Candidates currently marked unhealthy.
+    pub fn unhealthy_count(&self) -> usize {
+        self.unhealthy.len()
     }
 }
 
@@ -105,11 +123,12 @@ impl ProxySelector for GlobalOrchestrator {
         let best = self
             .candidates
             .iter()
-            .filter(|&&c| eligible(c, request))
+            .filter(|&&c| eligible(c, request) && !self.unhealthy.contains(&c))
             .min_by_key(|&&c| (self.load[&c], c.0))?;
         let proxy = *best;
         *self.load.get_mut(&proxy).expect("known candidate") += request.expected_bytes;
-        self.active.insert(request.id, (proxy, request.expected_bytes));
+        self.active
+            .insert(request.id, (proxy, request.expected_bytes));
         Some(Assignment { proxy, trials: 1 })
     }
 
@@ -122,6 +141,16 @@ impl ProxySelector for GlobalOrchestrator {
 
     fn load_of(&self, proxy: HostId) -> u64 {
         self.load.get(&proxy).copied().unwrap_or(0)
+    }
+
+    fn report_unhealthy(&mut self, proxy: HostId) {
+        if !self.unhealthy.contains(&proxy) {
+            self.unhealthy.push(proxy);
+        }
+    }
+
+    fn report_healthy(&mut self, proxy: HostId) {
+        self.unhealthy.retain(|&p| p != proxy);
     }
 }
 
@@ -213,8 +242,12 @@ impl ProxySelector for DecentralizedSelector {
                 continue;
             }
             *self.load.get_mut(&proxy).expect("known candidate") += request.expected_bytes;
-            self.active.insert(request.id, (proxy, request.expected_bytes));
-            return Some(Assignment { proxy, trials: trial });
+            self.active
+                .insert(request.id, (proxy, request.expected_bytes));
+            return Some(Assignment {
+                proxy,
+                trials: trial,
+            });
         }
         unreachable!("loop always returns by the final trial");
     }
@@ -302,6 +335,21 @@ mod tests {
         let mut orch = GlobalOrchestrator::new(hosts(2));
         orch.select(&request(1, 1)).unwrap();
         orch.select(&request(1, 1)).unwrap();
+    }
+
+    #[test]
+    fn global_skips_unhealthy_until_recovered() {
+        let mut orch = GlobalOrchestrator::new(hosts(2));
+        orch.report_unhealthy(HostId(0));
+        orch.report_unhealthy(HostId(0)); // Idempotent.
+        assert_eq!(orch.unhealthy_count(), 1);
+        let a = orch.select(&request(1, 1)).unwrap();
+        assert_eq!(a.proxy, HostId(1), "unhealthy candidate skipped");
+        orch.report_unhealthy(HostId(1));
+        assert!(orch.select(&request(2, 1)).is_none(), "all unhealthy");
+        orch.report_healthy(HostId(0));
+        let b = orch.select(&request(3, 1)).unwrap();
+        assert_eq!(b.proxy, HostId(0), "recovered candidate eligible again");
     }
 
     #[test]

@@ -81,7 +81,8 @@ pub fn predict(profile: &IncastProfile) -> BenefitPrediction {
         let overload = first_rtt_bytes as f64 / absorbable as f64;
         let rounds = overload.log2().max(1.0) + 2.0;
         let base_time = ideal + rounds * profile.inter_rtt.as_secs_f64() * 4.0;
-        let proxy_time = ideal + rounds * profile.intra_rtt.as_secs_f64() * 4.0
+        let proxy_time = ideal
+            + rounds * profile.intra_rtt.as_secs_f64() * 4.0
             + profile.inter_rtt.as_secs_f64();
         ((base_time - proxy_time) / base_time).clamp(0.0, 1.0)
     };

@@ -105,13 +105,19 @@ impl DetectingProxy {
         self.host
     }
 
-    /// Registers a flow to be relayed through this proxy.
-    ///
-    /// # Panics
-    /// Panics on double registration.
-    pub fn register(&mut self, flow: FlowId, sender: HostId, receiver: HostId) {
-        let prev = self.flows.insert(flow, FlowDirs { sender, receiver });
-        assert!(prev.is_none(), "{flow} registered twice");
+    /// Registers a flow to be relayed through this proxy. Rejects double
+    /// registration instead of silently rebinding the flow's endpoints.
+    pub fn register(
+        &mut self,
+        flow: FlowId,
+        sender: HostId,
+        receiver: HostId,
+    ) -> Result<(), dcsim::proxy::ProxyError> {
+        if self.flows.contains_key(&flow) {
+            return Err(dcsim::proxy::ProxyError::AlreadyRegistered { flow });
+        }
+        self.flows.insert(flow, FlowDirs { sender, receiver });
+        Ok(())
     }
 
     /// Detector statistics (observed / declared / late arrivals / evicted).
@@ -153,11 +159,24 @@ impl Agent for DetectingProxy {
         }
     }
 
+    fn on_crash(&mut self) {
+        // In-flight soft state dies with the process: gap-tracking and
+        // quiescence bookkeeping are rebuilt from live traffic after a
+        // restart. Flow registrations are configuration and survive.
+        let config = self.detector.config();
+        self.detector = LossDetector::new(config);
+        self.last_seen.clear();
+        self.timer_armed = false;
+        self.epoch += 1; // Pre-crash sweep timers are stale.
+    }
+
     fn on_packet(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
-        let dirs = *self
-            .flows
-            .get(&pkt.flow)
-            .unwrap_or_else(|| panic!("{} not registered at proxy", pkt.flow));
+        let Some(&dirs) = self.flows.get(&pkt.flow) else {
+            // Unknown flow (lost registration, misrouted packet): dropped,
+            // not a crash; the sender's RTO recovers end to end.
+            ctx.count(Counter::ProxyUnknownFlowDrops, 1);
+            return;
+        };
         match pkt.kind {
             PacketKind::Data => {
                 debug_assert!(!pkt.trimmed, "detecting proxy runs on drop-tail networks");
@@ -207,7 +226,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        p.register(FlowId(0), SENDER, RECEIVER);
+        p.register(FlowId(0), SENDER, RECEIVER).expect("fresh flow");
         p
     }
 
@@ -251,7 +270,10 @@ mod tests {
         fx.clear();
         p.on_packet(data(3), &mut ctx_with(&mut fx));
         let out = sends(&fx);
-        let nacks: Vec<_> = out.iter().filter(|pk| pk.kind == PacketKind::Nack).collect();
+        let nacks: Vec<_> = out
+            .iter()
+            .filter(|pk| pk.kind == PacketKind::Nack)
+            .collect();
         assert_eq!(nacks.len(), 1);
         assert_eq!(nacks[0].seq, 1);
         assert_eq!(nacks[0].dst, SENDER);
@@ -299,13 +321,53 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].kind, PacketKind::Data);
         assert_eq!(out[0].seq, 1);
-        assert_eq!(p.detector_stats().late_arrivals, 1, "counted as FP in hindsight");
+        assert_eq!(
+            p.detector_stats().late_arrivals,
+            1,
+            "counted as FP in hindsight"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "registered twice")]
-    fn double_registration_panics() {
+    fn double_registration_rejected() {
         let mut p = proxy(2);
-        p.register(FlowId(0), SENDER, RECEIVER);
+        assert!(p.register(FlowId(0), SENDER, RECEIVER).is_err());
+    }
+
+    #[test]
+    fn unknown_flow_dropped_and_counted() {
+        let mut p = proxy(2);
+        let mut fx = Vec::new();
+        let stray = Packet::data(FlowId(9), 0, SENDER, PROXY, 0);
+        p.on_packet(stray, &mut ctx_with(&mut fx));
+        assert!(sends(&fx).is_empty(), "unknown flows must not be forwarded");
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Count {
+                counter: Counter::ProxyUnknownFlowDrops,
+                amount: 1
+            }
+        )));
+    }
+
+    #[test]
+    fn crash_drops_soft_state_but_keeps_registrations() {
+        let mut p = proxy(2);
+        let mut fx = Vec::new();
+        p.on_packet(data(0), &mut ctx_with(&mut fx));
+        p.on_packet(data(2), &mut ctx_with(&mut fx)); // open gap for seq 1
+        p.on_crash();
+        fx.clear();
+        // Post-restart traffic is forwarded (registration survived) and the
+        // pre-crash gap is forgotten (fresh detector state).
+        p.on_packet(data(5), &mut ctx_with(&mut fx));
+        let out = sends(&fx);
+        assert!(out
+            .iter()
+            .any(|pk| pk.kind == PacketKind::Data && pk.seq == 5));
+        assert!(
+            out.iter().all(|pk| pk.kind != PacketKind::Nack),
+            "pre-crash gaps must not be declared after a restart"
+        );
     }
 }

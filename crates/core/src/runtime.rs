@@ -159,10 +159,8 @@ impl<S: ProxySelector> OperatorRuntime<S> {
         self.epoch += 1;
         let mut actions = Vec::new();
         let incasts = self.signature.end_bin();
-        let flagged: HashMap<HostId, usize> = incasts
-            .iter()
-            .map(|s| (s.destination, s.degree))
-            .collect();
+        let flagged: HashMap<HostId, usize> =
+            incasts.iter().map(|s| (s.destination, s.degree)).collect();
 
         // Periodicity bookkeeping for every destination we ever saw.
         let history = self.config.history_epochs;
@@ -182,10 +180,7 @@ impl<S: ProxySelector> OperatorRuntime<S> {
         let seen: Vec<HostId> = self.periodicity.keys().copied().collect();
         for dst in seen {
             if !self.epoch_bytes.contains_key(&dst) {
-                self.periodicity
-                    .get_mut(&dst)
-                    .expect("key exists")
-                    .push(0);
+                self.periodicity.get_mut(&dst).expect("key exists").push(0);
             }
         }
 
@@ -199,7 +194,9 @@ impl<S: ProxySelector> OperatorRuntime<S> {
                 .get(&sig.destination)
                 .cloned()
                 .unwrap_or_default();
-            let Some(&first) = sources.first() else { continue };
+            let Some(&first) = sources.first() else {
+                continue;
+            };
             let cross_dc = (self.dc_of)(first) != (self.dc_of)(sig.destination);
             if !cross_dc {
                 continue;
@@ -364,7 +361,9 @@ mod tests {
         let actions = rt.end_epoch();
         assert_eq!(
             actions,
-            vec![RuntimeAction::Release { destination: EXPERT }]
+            vec![RuntimeAction::Release {
+                destination: EXPERT
+            }]
         );
         assert!(rt.reroute_of(EXPERT).is_none());
     }

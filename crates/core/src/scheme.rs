@@ -46,7 +46,11 @@ pub enum Scheme {
 
 impl Scheme {
     /// The paper's three evaluated schemes, in presentation order.
-    pub const ALL: [Scheme; 3] = [Scheme::Baseline, Scheme::ProxyNaive, Scheme::ProxyStreamlined];
+    pub const ALL: [Scheme; 3] = [
+        Scheme::Baseline,
+        Scheme::ProxyNaive,
+        Scheme::ProxyStreamlined,
+    ];
 
     /// The paper's schemes plus the FW#1 detector-based proxy.
     pub const EXTENDED: [Scheme; 4] = [
@@ -111,6 +115,14 @@ pub struct IncastSpec {
     pub detector: crate::lossdetect::LossDetectorConfig,
     /// Sender transport (the paper's windowed DCTCP-like by default).
     pub transport: Transport,
+    /// When set, proxied windowed senders monitor proxy health and fall
+    /// back to the direct path if the proxy goes silent (see
+    /// [`dcsim::protocol::FailoverConfig`]). `None` (the default) leaves
+    /// runs bit-identical to builds without failover support. Only the
+    /// end-to-end proxy schemes (Streamlined, Detecting) use it: Baseline
+    /// has no proxy, and the Naive scheme's split connections terminate at
+    /// the proxy, so there is no direct path to fall back to.
+    pub failover: Option<FailoverConfig>,
 }
 
 impl IncastSpec {
@@ -129,12 +141,19 @@ impl IncastSpec {
             ecn_response: dcsim::protocol::dctcp::EcnResponse::default(),
             detector: crate::lossdetect::LossDetectorConfig::default(),
             transport: Transport::WindowedDctcp,
+            failover: None,
         }
     }
 
     /// Sets the proxy host.
     pub fn with_proxy(mut self, proxy: HostId) -> Self {
         self.proxy = Some(proxy);
+        self
+    }
+
+    /// Enables sender-side proxy failover with the given config.
+    pub fn with_failover(mut self, cfg: FailoverConfig) -> Self {
+        self.failover = Some(cfg);
         self
     }
 
@@ -167,6 +186,10 @@ pub struct IncastHandle {
     pub all_flows: Vec<FlowId>,
     /// Start time of the incast.
     pub start: SimTime,
+    /// The shared proxy agent, for fault injection (crash scenarios).
+    /// `None` for Baseline (no proxy) and Naive (per-flow relay agents
+    /// rather than one shared middlebox).
+    pub proxy_agent: Option<AgentId>,
 }
 
 impl IncastHandle {
@@ -223,7 +246,9 @@ fn install_detecting(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
     let mut flows = Vec::new();
     for (i, &src) in spec.senders.iter().enumerate() {
         let flow = sim.new_flow();
-        proxy.register(flow, src, spec.receiver);
+        proxy
+            .register(flow, src, spec.receiver)
+            .expect("fresh flow id");
         flows.push((flow, src, spec.bytes_for_sender(i)));
     }
     let proxy_agent = sim.add_agent(Box::new(proxy));
@@ -231,7 +256,15 @@ fn install_detecting(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
     for (flow, src, bytes) in flows {
         let packets = packets_for_bytes(bytes);
         let cc = tune_cc(cc_via_proxy(sim, src, proxy_host, spec.receiver), spec);
-        let sender = sim.add_agent(make_sender(spec, flow, src, proxy_host, packets, cc));
+        let sender = sim.add_agent(make_sender(
+            spec,
+            flow,
+            src,
+            proxy_host,
+            packets,
+            cc,
+            Some(spec.receiver),
+        ));
         let receiver = sim.add_agent(Box::new(
             Receiver::new(flow, spec.receiver, packets).with_reply_via(proxy_host),
         ));
@@ -246,6 +279,7 @@ fn install_detecting(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
         watch_flows: watch.clone(),
         all_flows: watch,
         start: spec.start,
+        proxy_agent: Some(proxy_agent),
     }
 }
 
@@ -257,7 +291,9 @@ fn tune_cc(mut cc: CcConfig, spec: &IncastSpec) -> CcConfig {
     cc
 }
 
-/// Builds the sender agent for the spec's transport choice.
+/// Builds the sender agent for the spec's transport choice. `direct` is
+/// the receiver host for proxied end-to-end flows that may fall back to
+/// the direct path; failover only applies to the windowed transport.
 fn make_sender(
     spec: &IncastSpec,
     flow: FlowId,
@@ -265,9 +301,16 @@ fn make_sender(
     to: HostId,
     packets: u64,
     cc: CcConfig,
+    direct: Option<HostId>,
 ) -> Box<dyn dcsim::agent::Agent> {
     match spec.transport {
-        Transport::WindowedDctcp => Box::new(DctcpSender::new(flow, src, to, packets, cc)),
+        Transport::WindowedDctcp => {
+            let mut sender = DctcpSender::new(flow, src, to, packets, cc);
+            if let (Some(direct), Some(cfg)) = (direct, spec.failover) {
+                sender = sender.with_failover(direct, cfg);
+            }
+            Box::new(sender)
+        }
         Transport::RateBased => {
             let rate_cc = RateCcConfig::for_path(cc.base_feedback_delay, Bandwidth::gbps(100));
             Box::new(RateSender::new(flow, src, to, packets, rate_cc))
@@ -282,7 +325,15 @@ fn install_baseline(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
         let packets = packets_for_bytes(bytes);
         let cc = tune_cc(cc_for_path(sim, src, spec.receiver), spec);
         let flow = sim.new_flow();
-        let sender = sim.add_agent(make_sender(spec, flow, src, spec.receiver, packets, cc));
+        let sender = sim.add_agent(make_sender(
+            spec,
+            flow,
+            src,
+            spec.receiver,
+            packets,
+            cc,
+            None,
+        ));
         let receiver = sim.add_agent(Box::new(Receiver::new(flow, spec.receiver, packets)));
         sim.bind(flow, src, sender);
         sim.bind(flow, spec.receiver, receiver);
@@ -294,6 +345,7 @@ fn install_baseline(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
         watch_flows: watch.clone(),
         all_flows: watch,
         start: spec.start,
+        proxy_agent: None,
     }
 }
 
@@ -308,7 +360,9 @@ fn install_streamlined(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
     let mut flows = Vec::new();
     for (i, &src) in spec.senders.iter().enumerate() {
         let flow = sim.new_flow();
-        proxy.register(flow, src, spec.receiver);
+        proxy
+            .register(flow, src, spec.receiver)
+            .expect("fresh flow id");
         flows.push((flow, src, spec.bytes_for_sender(i)));
     }
     let proxy_agent = sim.add_agent(Box::new(proxy));
@@ -318,7 +372,15 @@ fn install_streamlined(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
         // End-to-end connection: 1 BDP of the full (via-proxy) path, RTO
         // scaled to the end-to-end RTT.
         let cc = tune_cc(cc_via_proxy(sim, src, proxy_host, spec.receiver), spec);
-        let sender = sim.add_agent(make_sender(spec, flow, src, proxy_host, packets, cc));
+        let sender = sim.add_agent(make_sender(
+            spec,
+            flow,
+            src,
+            proxy_host,
+            packets,
+            cc,
+            Some(spec.receiver),
+        ));
         let receiver = sim.add_agent(Box::new(
             Receiver::new(flow, spec.receiver, packets).with_reply_via(proxy_host),
         ));
@@ -333,6 +395,7 @@ fn install_streamlined(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
         watch_flows: watch.clone(),
         all_flows: watch,
         start: spec.start,
+        proxy_agent: Some(proxy_agent),
     }
 }
 
@@ -361,7 +424,11 @@ fn install_naive(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
         let flow_b = sim.new_flow();
         let cc_b = tune_cc(cc_for_path(sim, proxy_host, spec.receiver), spec);
         let relay = sim.add_agent(Box::new(DctcpSender::relay(
-            flow_b, proxy_host, spec.receiver, packets, cc_b,
+            flow_b,
+            proxy_host,
+            spec.receiver,
+            packets,
+            cc_b,
         )));
         let recv_b = sim.add_agent(Box::new(Receiver::new(flow_b, spec.receiver, packets)));
         sim.bind(flow_b, proxy_host, relay);
@@ -371,7 +438,9 @@ fn install_naive(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
         // Leg A: sender → proxy, a full intra-DC connection.
         let flow_a = sim.new_flow();
         let cc_a = tune_cc(cc_for_path(sim, src, proxy_host), spec);
-        let sender = sim.add_agent(make_sender(spec, flow_a, src, proxy_host, packets, cc_a));
+        let sender = sim.add_agent(make_sender(
+            spec, flow_a, src, proxy_host, packets, cc_a, None,
+        ));
         let ingress = sim.add_agent(Box::new(
             Receiver::new(flow_a, proxy_host, packets).with_grants_to(relay),
         ));
@@ -388,6 +457,7 @@ fn install_naive(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
         watch_flows: watch,
         all_flows: all,
         start: spec.start,
+        proxy_agent: None,
     }
 }
 

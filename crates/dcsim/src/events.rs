@@ -21,6 +21,20 @@ pub enum TimerKind {
     Custom { tag: u64, epoch: u64 },
 }
 
+/// A scheduled infrastructure fault (see [`crate::faults::FaultPlan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// `port` stops transmitting and blackholes everything offered to it.
+    LinkDown { port: PortId },
+    /// `port` resumes transmitting (queued packets drain from here on).
+    LinkUp { port: PortId },
+    /// `agent` crashes: its handlers stop running and packets addressed to
+    /// it are destroyed.
+    AgentCrash { agent: AgentId },
+    /// `agent` restarts and handles traffic again.
+    AgentRestore { agent: AgentId },
+}
+
 /// A scheduled simulator event.
 #[derive(Debug, Clone)]
 pub enum Event {
@@ -35,6 +49,8 @@ pub enum Event {
     /// A packet leaves host processing and joins output port `port`
     /// (delayed host-side sends, e.g. modelled proxy processing time).
     Inject { port: PortId, packet: Packet },
+    /// An injected infrastructure fault takes effect.
+    Fault(FaultEvent),
 }
 
 struct Scheduled {
@@ -148,7 +164,9 @@ mod tests {
         q.schedule(SimTime(30), dummy(3));
         q.schedule(SimTime(10), dummy(1));
         q.schedule(SimTime(20), dummy(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| tag_of(&e)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(&e))
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -158,7 +176,9 @@ mod tests {
         for tag in 0..100 {
             q.schedule(SimTime(5), dummy(tag));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| tag_of(&e)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(&e))
+            .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 

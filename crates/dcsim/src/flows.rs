@@ -66,7 +66,9 @@ pub fn cc_for_path(sim: &Simulator, src: HostId, dst: HostId) -> CcConfig {
 /// the returned flow id when the receiver holds every byte.
 pub fn install_flow(sim: &mut Simulator, spec: FlowSpec, start: SimTime) -> FlowHandle {
     assert_ne!(spec.src, spec.dst, "flow to self");
-    let cc = spec.cc.unwrap_or_else(|| cc_for_path(sim, spec.src, spec.dst));
+    let cc = spec
+        .cc
+        .unwrap_or_else(|| cc_for_path(sim, spec.src, spec.dst));
     let packets = packets_for_bytes(spec.bytes);
     let flow = sim.new_flow();
     let sender = sim.add_agent(Box::new(DctcpSender::new(
@@ -121,7 +123,10 @@ mod tests {
         assert_eq!(report.stop, StopReason::Idle, "flow must drain: {report:?}");
         let done = s.metrics().completion(h.flow).expect("completed");
         // 100 KB at 100 Gbps ≈ 8 µs + RTT; must be well under a millisecond.
-        assert!(done < SimTime::ZERO + SimDuration::from_millis(1), "done at {done}");
+        assert!(
+            done < SimTime::ZERO + SimDuration::from_millis(1),
+            "done at {done}"
+        );
         assert_eq!(h.packets, 100_000u64.div_ceil(MSS));
     }
 
@@ -140,7 +145,10 @@ mod tests {
         // Must take at least one one-way trip (~200 µs) but finish promptly
         // (1 MB fits in the 1-BDP initial window).
         assert!(done > SimTime::ZERO + SimDuration::from_micros(200));
-        assert!(done < SimTime::ZERO + SimDuration::from_millis(20), "done at {done}");
+        assert!(
+            done < SimTime::ZERO + SimDuration::from_millis(20),
+            "done at {done}"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 pub mod agent;
 pub mod events;
+pub mod faults;
 pub mod flows;
 pub mod metrics;
 pub mod packet;
@@ -53,15 +54,18 @@ pub mod workload;
 /// Convenient glob-import surface for experiment and test code.
 pub mod prelude {
     pub use crate::agent::{Agent, Counter, Ctx, Effect, Note};
-    pub use crate::events::TimerKind;
+    pub use crate::events::{FaultEvent, TimerKind};
+    pub use crate::faults::{AgentCrash, FaultError, FaultPlan, LinkWindow, PortImpairment};
     pub use crate::flows::{install_flow, FlowHandle, FlowSpec};
     pub use crate::metrics::SimMetrics;
     pub use crate::packet::{
         AgentId, Ecn, FlowId, HostId, NodeId, Packet, PacketKind, PortId, DATA_PKT_SIZE,
         HEADER_SIZE, MSS,
     };
-    pub use crate::protocol::{packets_for_bytes, CcConfig, DctcpSender, Receiver, RtoConfig};
-    pub use crate::proxy::StreamlinedProxy;
+    pub use crate::protocol::{
+        packets_for_bytes, CcConfig, DctcpSender, FailoverConfig, Receiver, RtoConfig,
+    };
+    pub use crate::proxy::{ProxyError, StreamlinedProxy};
     pub use crate::queues::{EnqueueOutcome, PortQueue, QueueConfig, QueueStats};
     pub use crate::sim::{RunReport, Simulator, StopReason};
     pub use crate::time::{Bandwidth, SimDuration, SimTime};

@@ -14,6 +14,9 @@ pub struct SimMetrics {
     completions: HashMap<FlowId, SimTime>,
     /// Protocol counters bumped by agents.
     counters: HashMap<Counter, u64>,
+    /// Per-flow proxy-failover latencies (silence start → path switch).
+    /// A flow can fail over more than once if the proxy flaps.
+    failover_latencies: HashMap<FlowId, Vec<SimDuration>>,
     /// Number of events processed.
     pub events_processed: u64,
 }
@@ -28,6 +31,14 @@ impl SimMetrics {
     /// Bumps a counter.
     pub(crate) fn count(&mut self, counter: Counter, amount: u64) {
         *self.counters.entry(counter).or_insert(0) += amount;
+    }
+
+    /// Records one proxy-failover latency sample for `flow`.
+    pub(crate) fn failover_latency(&mut self, flow: FlowId, latency: SimDuration) {
+        self.failover_latencies
+            .entry(flow)
+            .or_default()
+            .push(latency);
     }
 
     /// Completion time of a flow, if it completed.
@@ -63,6 +74,26 @@ impl SimMetrics {
             .iter()
             .filter_map(|f| self.completion(*f))
             .map(|t| t.since(start))
+            .collect()
+    }
+
+    /// Failover latencies recorded for `flow` (empty if it never failed
+    /// over). Each sample is the gap between the last feedback heard via
+    /// the proxy and the moment the sender switched to the direct path.
+    pub fn failover_latencies(&self, flow: FlowId) -> &[SimDuration] {
+        self.failover_latencies
+            .get(&flow)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All failover-latency samples across flows (unordered across flows).
+    pub fn all_failover_latencies(&self) -> Vec<SimDuration> {
+        let mut flows: Vec<&FlowId> = self.failover_latencies.keys().collect();
+        flows.sort();
+        flows
+            .into_iter()
+            .flat_map(|f| self.failover_latencies[f].iter().copied())
             .collect()
     }
 

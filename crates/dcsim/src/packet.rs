@@ -106,6 +106,11 @@ pub struct Packet {
     /// Timestamp echo: the data packet's send time, reflected in Acks for
     /// RTT measurement (picoseconds).
     pub ts_echo: u64,
+    /// True when a proxied flow's sender deliberately routed this packet on
+    /// the direct path (proxy failover). Feedback copies the flag so the
+    /// receiver knows to reply directly instead of via the proxy, and so
+    /// the sender can tell proxy-path feedback from direct-path feedback.
+    pub direct: bool,
 }
 
 impl Packet {
@@ -122,6 +127,7 @@ impl Packet {
             trimmed: false,
             ece: false,
             ts_echo: ts,
+            direct: false,
         }
     }
 
@@ -139,6 +145,7 @@ impl Packet {
             trimmed: false,
             ece: data.ecn == Ecn::Ce,
             ts_echo: data.ts_echo,
+            direct: data.direct,
         }
     }
 
@@ -156,6 +163,7 @@ impl Packet {
             trimmed: false,
             ece: false,
             ts_echo: data.ts_echo,
+            direct: data.direct,
         }
     }
 
@@ -223,6 +231,15 @@ mod tests {
     fn unmarked_data_yields_unmarked_ack() {
         let ack = Packet::ack_for(&pkt(), HostId(3));
         assert!(!ack.ece);
+    }
+
+    #[test]
+    fn feedback_preserves_direct_flag() {
+        let mut p = pkt();
+        assert!(!p.direct, "data packets default to the configured path");
+        p.direct = true;
+        assert!(Packet::ack_for(&p, HostId(3)).direct);
+        assert!(Packet::nack_for(&p, HostId(3)).direct);
     }
 
     #[test]

@@ -90,6 +90,55 @@ impl CcConfig {
     }
 }
 
+/// Timer tag used by the proxy-health probe timer (failover re-probing).
+const PROBE_TAG: u64 = 0xFA11;
+
+/// Configuration of proxy failover for a proxied sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailoverConfig {
+    /// Consecutive RTO fires with no feedback at all before the sender
+    /// declares the proxy unreachable and falls back to the direct path.
+    pub rto_threshold: u32,
+    /// Ceiling on the exponential backoff between proxy re-probes while on
+    /// the direct path (the first probe fires one RTO after failover).
+    pub probe_backoff_max: SimDuration,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            rto_threshold: 3,
+            probe_backoff_max: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// Which path a failover-capable sender is currently using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PathMode {
+    /// Normal operation: data via the proxy.
+    ViaProxy,
+    /// Degraded: proxy declared dead, data on the direct path.
+    Direct,
+}
+
+/// Sender-side proxy-health state (present only on proxied senders built
+/// with [`DctcpSender::with_failover`]).
+struct Failover {
+    cfg: FailoverConfig,
+    /// The receiver, for addressing direct-path packets.
+    direct: HostId,
+    mode: PathMode,
+    /// RTO fires since the last feedback of any kind.
+    consecutive_rtos: u32,
+    /// When the last ACK/NACK arrived (or the flow started).
+    last_feedback: SimTime,
+    /// Current re-probe interval (doubles per probe, clamped).
+    probe_backoff: SimDuration,
+    /// Validity epoch of the probe timer; bumped on every path switch.
+    probe_epoch: u64,
+}
+
 /// The DCTCP-like sending endpoint of one flow.
 pub struct DctcpSender {
     flow: FlowId,
@@ -132,18 +181,32 @@ pub struct DctcpSender {
     /// Last time a multiplicative decrease (or timeout reset) was applied.
     last_decrease: Option<SimTime>,
     started: bool,
+    /// Proxy-health monitor; `None` on unproxied senders (zero overhead).
+    failover: Option<Failover>,
 }
 
 impl DctcpSender {
     /// Creates a sender for a fixed-size flow of `total_packets`, fully
     /// granted up front.
-    pub fn new(flow: FlowId, src: HostId, to: HostId, total_packets: u64, config: CcConfig) -> Self {
+    pub fn new(
+        flow: FlowId,
+        src: HostId,
+        to: HostId,
+        total_packets: u64,
+        config: CcConfig,
+    ) -> Self {
         Self::with_grants(flow, src, to, total_packets, total_packets, config)
     }
 
     /// Creates a relay sender that may only transmit granted packets
     /// (grants arrive via [`Note::PacketsGranted`]).
-    pub fn relay(flow: FlowId, src: HostId, to: HostId, total_packets: u64, config: CcConfig) -> Self {
+    pub fn relay(
+        flow: FlowId,
+        src: HostId,
+        to: HostId,
+        total_packets: u64,
+        config: CcConfig,
+    ) -> Self {
         Self::with_grants(flow, src, to, total_packets, 0, config)
     }
 
@@ -178,8 +241,35 @@ impl DctcpSender {
             round_marked: 0,
             last_decrease: None,
             started: false,
+            failover: None,
             config,
         }
+    }
+
+    /// Enables proxy failover: when feedback via the proxy (`to`) goes
+    /// silent for `cfg.rto_threshold` consecutive RTOs, the sender falls
+    /// back to sending directly to `direct` (the receiver), re-probes the
+    /// proxy with exponential backoff, and fails back once the proxy
+    /// answers again.
+    pub fn with_failover(mut self, direct: HostId, cfg: FailoverConfig) -> Self {
+        assert!(cfg.rto_threshold > 0, "rto_threshold must be at least 1");
+        self.failover = Some(Failover {
+            cfg,
+            direct,
+            mode: PathMode::ViaProxy,
+            consecutive_rtos: 0,
+            last_feedback: SimTime::ZERO,
+            probe_backoff: cfg.probe_backoff_max,
+            probe_epoch: 0,
+        });
+        self
+    }
+
+    /// True while a failover-capable sender is on the direct path.
+    pub fn using_direct_path(&self) -> bool {
+        self.failover
+            .as_ref()
+            .is_some_and(|f| f.mode == PathMode::Direct)
     }
 
     /// Current congestion window in bytes.
@@ -292,9 +382,83 @@ impl DctcpSender {
                 ctx.count(Counter::Retransmits, 1);
             }
             self.outstanding.insert(seq);
-            let pkt = Packet::data(self.flow, seq, self.src, self.to, ctx.now.0);
+            let (dst, direct) = match &self.failover {
+                Some(f) if f.mode == PathMode::Direct => (f.direct, true),
+                _ => (self.to, false),
+            };
+            let mut pkt = Packet::data(self.flow, seq, self.src, dst, ctx.now.0);
+            pkt.direct = direct;
             ctx.send(self.src, pkt);
         }
+    }
+
+    /// Failover bookkeeping on any feedback (ACK or NACK): the path that
+    /// carried it is alive. Proxy-path feedback while degraded triggers the
+    /// failback.
+    fn note_feedback(&mut self, pkt: &Packet, ctx: &mut Ctx) {
+        let Some(f) = &mut self.failover else {
+            return;
+        };
+        f.consecutive_rtos = 0;
+        f.last_feedback = ctx.now;
+        if f.mode == PathMode::Direct && !pkt.direct {
+            // The proxy relayed feedback again: recover the fast path.
+            f.mode = PathMode::ViaProxy;
+            f.probe_epoch += 1; // Cancels the pending probe timer.
+            f.probe_backoff = f.cfg.probe_backoff_max;
+            ctx.count(Counter::Failbacks, 1);
+        }
+    }
+
+    /// Failover bookkeeping on an RTO fire: silence past the threshold
+    /// abandons the proxy path and arms the first re-probe.
+    fn note_rto(&mut self, ctx: &mut Ctx) {
+        let probe_after = self.est.rto();
+        let Some(f) = &mut self.failover else {
+            return;
+        };
+        f.consecutive_rtos += 1;
+        if f.mode == PathMode::ViaProxy && f.consecutive_rtos >= f.cfg.rto_threshold {
+            f.mode = PathMode::Direct;
+            f.probe_epoch += 1;
+            f.probe_backoff = probe_after.min(f.cfg.probe_backoff_max);
+            ctx.count(Counter::FailoverActivations, 1);
+            ctx.failover_latency(self.flow, ctx.now.since(f.last_feedback));
+            ctx.arm_timer(
+                ctx.now + f.probe_backoff,
+                TimerKind::Custom {
+                    tag: PROBE_TAG,
+                    epoch: f.probe_epoch,
+                },
+            );
+        }
+    }
+
+    /// Probe timer while degraded: re-offer one sequence via the proxy
+    /// (flagged `direct: false`) so proxy-path feedback, if any, proves
+    /// recovery — then back off and re-arm.
+    fn on_probe_timer(&mut self, epoch: u64, ctx: &mut Ctx) {
+        let Some(f) = &mut self.failover else {
+            return;
+        };
+        if f.mode != PathMode::Direct || epoch != f.probe_epoch || self.acked.is_full() {
+            return; // Stale probe, or already recovered / done.
+        }
+        // Seq 0 always exists; a duplicate delivery is acked like any other,
+        // and the ACK's `direct: false` flag is the recovery signal. The
+        // probe is deliberately not tracked in `outstanding`: its loss must
+        // not perturb the direct-path RTO machinery.
+        let pkt = Packet::data(self.flow, 0, self.src, self.to, ctx.now.0);
+        ctx.send(self.src, pkt);
+        ctx.count(Counter::ProxyProbes, 1);
+        f.probe_backoff = (f.probe_backoff + f.probe_backoff).min(f.cfg.probe_backoff_max);
+        ctx.arm_timer(
+            ctx.now + f.probe_backoff,
+            TimerKind::Custom {
+                tag: PROBE_TAG,
+                epoch: f.probe_epoch,
+            },
+        );
     }
 
     /// Re-arms the RTO if anything is outstanding or waiting; otherwise
@@ -308,7 +472,10 @@ impl DctcpSender {
             // Idle: waiting for grants; nothing can time out.
             return;
         }
-        ctx.arm_timer(ctx.now + self.est.rto(), TimerKind::Rto { epoch: self.epoch });
+        ctx.arm_timer(
+            ctx.now + self.est.rto(),
+            TimerKind::Rto { epoch: self.epoch },
+        );
     }
 
     fn on_ack(&mut self, pkt: &Packet, ctx: &mut Ctx) {
@@ -386,12 +553,16 @@ impl DctcpSender {
 impl Agent for DctcpSender {
     fn on_start(&mut self, ctx: &mut Ctx) {
         self.started = true;
+        if let Some(f) = &mut self.failover {
+            f.last_feedback = ctx.now;
+        }
         self.try_send(ctx);
         self.reset_timer(ctx);
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
         debug_assert!(pkt.seq < self.total, "feedback for unknown seq");
+        self.note_feedback(&pkt, ctx);
         match pkt.kind {
             PacketKind::Ack => self.on_ack(&pkt, ctx),
             PacketKind::Nack => self.on_nack(&pkt, ctx),
@@ -402,14 +573,23 @@ impl Agent for DctcpSender {
     }
 
     fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx) {
-        let TimerKind::Rto { epoch } = kind else {
-            return;
+        let epoch = match kind {
+            TimerKind::Rto { epoch } => epoch,
+            TimerKind::Custom {
+                tag: PROBE_TAG,
+                epoch,
+            } => {
+                self.on_probe_timer(epoch, ctx);
+                return;
+            }
+            TimerKind::Custom { .. } => return,
         };
         if epoch != self.epoch || self.is_complete() {
             return; // Stale timer.
         }
         ctx.count(Counter::RtoFires, 1);
         self.est.on_timeout();
+        self.note_rto(ctx);
         // Paper: "resets its congestion window upon timeout". Regrowth is
         // exponential (one increment per unmarked ACK).
         self.cwnd = self.config.min_cwnd_bytes as f64;
@@ -545,16 +725,25 @@ mod tests {
         // room for the retransmission.
         for seq in [0u64, 1, 3] {
             let d = Packet::data(FlowId(0), seq, HostId(0), HostId(1), 0);
-            s.on_packet(Packet::ack_for(&d, HostId(1)), &mut ctx_with(SimTime(1000 + seq), &mut fx));
+            s.on_packet(
+                Packet::ack_for(&d, HostId(1)),
+                &mut ctx_with(SimTime(1000 + seq), &mut fx),
+            );
         }
         fx.clear();
         let mut d = Packet::data(FlowId(0), 2, HostId(0), HostId(1), 0);
         d.trim();
         let nack = Packet::nack_for(&d, HostId(1));
-        s.on_packet(nack, &mut ctx_with(SimTime(SimDuration::from_micros(20).0), &mut fx));
+        s.on_packet(
+            nack,
+            &mut ctx_with(SimTime(SimDuration::from_micros(20).0), &mut fx),
+        );
         assert!(s.cwnd_bytes() < cwnd0);
         let seqs = sent_seqs(&fx);
-        assert!(seqs.contains(&2), "nacked seq must be retransmitted: {seqs:?}");
+        assert!(
+            seqs.contains(&2),
+            "nacked seq must be retransmitted: {seqs:?}"
+        );
         assert!(fx.iter().any(|e| matches!(
             e,
             Effect::Count {
@@ -596,9 +785,13 @@ mod tests {
         let seqs = sent_seqs(&fx);
         assert_eq!(seqs.len(), 1);
         assert!(seqs[0] < 4);
-        assert!(fx
-            .iter()
-            .any(|e| matches!(e, Effect::Count { counter: Counter::RtoFires, .. })));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Count {
+                counter: Counter::RtoFires,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -608,7 +801,10 @@ mod tests {
         s.on_start(&mut ctx_with(SimTime(0), &mut fx));
         let stale = s.epoch - 1;
         fx.clear();
-        s.on_timer(TimerKind::Rto { epoch: stale }, &mut ctx_with(SimTime(1), &mut fx));
+        s.on_timer(
+            TimerKind::Rto { epoch: stale },
+            &mut ctx_with(SimTime(1), &mut fx),
+        );
         assert!(fx.is_empty(), "stale timer must be a no-op");
     }
 
@@ -641,7 +837,10 @@ mod tests {
         s.on_start(&mut ctx_with(SimTime(0), &mut fx));
         for seq in 0..total {
             let d = Packet::data(FlowId(0), seq, HostId(0), HostId(1), 0);
-            s.on_packet(Packet::ack_for(&d, HostId(1)), &mut ctx_with(SimTime(1000 + seq), &mut fx));
+            s.on_packet(
+                Packet::ack_for(&d, HostId(1)),
+                &mut ctx_with(SimTime(1000 + seq), &mut fx),
+            );
         }
         assert!(s.is_complete());
     }
@@ -654,13 +853,19 @@ mod tests {
         // Ack seqs 1..4 so the halved window still fits the retransmission.
         for seq in 1u64..4 {
             let d = Packet::data(FlowId(0), seq, HostId(0), HostId(1), 0);
-            s.on_packet(Packet::ack_for(&d, HostId(1)), &mut ctx_with(SimTime(1000 + seq), &mut fx));
+            s.on_packet(
+                Packet::ack_for(&d, HostId(1)),
+                &mut ctx_with(SimTime(1000 + seq), &mut fx),
+            );
         }
         // NACK seq 0 -> retransmitted (window has room now).
         let mut d0 = Packet::data(FlowId(0), 0, HostId(0), HostId(1), 0);
         d0.trim();
         fx.clear();
-        s.on_packet(Packet::nack_for(&d0, HostId(1)), &mut ctx_with(SimTime(2000), &mut fx));
+        s.on_packet(
+            Packet::nack_for(&d0, HostId(1)),
+            &mut ctx_with(SimTime(2000), &mut fx),
+        );
         assert!(sent_seqs(&fx).contains(&0), "precondition: seq 0 resent");
         let srtt_before = s.est.srtt();
         // Ack for the retransmitted seq 0 with a bogus huge echo delay: the

@@ -7,7 +7,7 @@ pub mod receiver;
 pub mod rto;
 pub mod seqtrack;
 
-pub use dctcp::{packets_for_bytes, CcConfig, DctcpSender};
+pub use dctcp::{packets_for_bytes, CcConfig, DctcpSender, FailoverConfig};
 pub use rate::{RateCcConfig, RateSender};
 pub use receiver::Receiver;
 pub use rto::{RtoConfig, RttEstimator};

@@ -111,7 +111,13 @@ pub struct RateSender {
 
 impl RateSender {
     /// Creates a sender for a fixed-size flow.
-    pub fn new(flow: FlowId, src: HostId, to: HostId, total_packets: u64, config: RateCcConfig) -> Self {
+    pub fn new(
+        flow: FlowId,
+        src: HostId,
+        to: HostId,
+        total_packets: u64,
+        config: RateCcConfig,
+    ) -> Self {
         assert!(total_packets > 0, "empty flow");
         RateSender {
             flow,
@@ -190,9 +196,8 @@ impl RateSender {
             return;
         }
         let delivered_pkts = self.delivered.saturating_sub(delivered_at_send).max(1);
-        let bps =
-            (delivered_pkts as u128 * DATA_PKT_SIZE as u128 * 8 * PS_PER_SEC as u128
-                / elapsed as u128) as u64;
+        let bps = (delivered_pkts as u128 * DATA_PKT_SIZE as u128 * 8 * PS_PER_SEC as u128
+            / elapsed as u128) as u64;
         self.bw_samples.push_back((self.round, bps));
         let window = self.config.bw_window_rounds as u64;
         while let Some(&(r, _)) = self.bw_samples.front() {
@@ -302,7 +307,10 @@ impl RateSender {
             self.arm_pace(ctx);
             return;
         }
-        ctx.arm_timer(ctx.now + self.est.rto(), TimerKind::Rto { epoch: self.epoch });
+        ctx.arm_timer(
+            ctx.now + self.est.rto(),
+            TimerKind::Rto { epoch: self.epoch },
+        );
         self.arm_pace(ctx);
     }
 }
@@ -427,7 +435,9 @@ mod tests {
         let spec = FlowSpec::new(HostId(0), dst, 5_000_000);
         let packets = crate::protocol::packets_for_bytes(spec.bytes);
         let flow = sim.new_flow();
-        let sender = sim.add_agent(Box::new(RateSender::new(flow, spec.src, spec.dst, packets, cc)));
+        let sender = sim.add_agent(Box::new(RateSender::new(
+            flow, spec.src, spec.dst, packets, cc,
+        )));
         let receiver = sim.add_agent(Box::new(crate::protocol::Receiver::new(
             flow, spec.dst, packets,
         )));
@@ -438,14 +448,21 @@ mod tests {
         assert_eq!(report.stop, StopReason::Idle, "{report:?}");
         let done = sim.metrics().completion(flow).expect("completes");
         // 5 MB at ≥ 10 Gbps effective with ~400 µs RTT: well under 50 ms.
-        assert!(done < SimTime::ZERO + SimDuration::from_millis(50), "done at {done}");
+        assert!(
+            done < SimTime::ZERO + SimDuration::from_millis(50),
+            "done at {done}"
+        );
     }
 
     #[test]
     fn nack_retransmits_without_rate_cut() {
         let mut s = RateSender::new(FlowId(0), HostId(0), HostId(1), 100, config());
         let mut fx = Vec::new();
-        s.on_start(&mut Ctx::harness(SimTime(0), crate::packet::AgentId(0), &mut fx));
+        s.on_start(&mut Ctx::harness(
+            SimTime(0),
+            crate::packet::AgentId(0),
+            &mut fx,
+        ));
         let rate_before = s.pacing_rate();
         // Simulate a sent packet then a NACK for it.
         s.outstanding.insert(0);
@@ -454,7 +471,10 @@ mod tests {
         d.trim();
         let nack = Packet::nack_for(&d, HostId(1));
         let mut fx = Vec::new();
-        s.on_packet(nack, &mut Ctx::harness(SimTime(1000), crate::packet::AgentId(0), &mut fx));
+        s.on_packet(
+            nack,
+            &mut Ctx::harness(SimTime(1000), crate::packet::AgentId(0), &mut fx),
+        );
         assert_eq!(s.pacing_rate(), rate_before, "loss must not cut the rate");
         assert!(s.rtx_pending.contains(0));
     }

@@ -58,8 +58,14 @@ impl Receiver {
     }
 
     fn addressed(&self, mut feedback: Packet) -> Packet {
-        if let Some(via) = self.reply_via {
-            feedback.dst = via;
+        // Data flagged `direct` arrived on the fallback path because the
+        // sender gave up on the proxy — replying through the proxy would
+        // blackhole the feedback on the very path that failed, so reply
+        // straight to the source instead.
+        if !feedback.direct {
+            if let Some(via) = self.reply_via {
+                feedback.dst = via;
+            }
         }
         feedback
     }
@@ -205,6 +211,23 @@ mod tests {
         r.on_packet(t, &mut ctx_with(&mut fx));
         match &fx[2] {
             Effect::Send { packet, .. } => assert_eq!(packet.dst, proxy),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn direct_data_bypasses_reply_via() {
+        let proxy = HostId(9);
+        let mut r = Receiver::new(FlowId(0), HostId(1), 4).with_reply_via(proxy);
+        let mut fx = Vec::new();
+        let mut p = data(0);
+        p.direct = true;
+        r.on_packet(p, &mut ctx_with(&mut fx));
+        match &fx[0] {
+            Effect::Send { packet, .. } => {
+                assert_eq!(packet.dst, HostId(0), "direct data must be acked directly");
+                assert!(packet.direct, "the flag must survive into the feedback");
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -26,9 +26,10 @@ impl RtoConfig {
     /// never below 10 µs (scheduler granularity the paper assumes for
     /// eBPF-assisted loss detection) and never above 50 ms.
     pub fn for_base_rtt(base_rtt: SimDuration) -> Self {
-        let floor = SimDuration(
-            (base_rtt.0.saturating_mul(3)).clamp(SimDuration::from_micros(10).0, SimDuration::from_millis(50).0),
-        );
+        let floor = SimDuration((base_rtt.0.saturating_mul(3)).clamp(
+            SimDuration::from_micros(10).0,
+            SimDuration::from_millis(50).0,
+        ));
         RtoConfig {
             min_rto: floor,
             max_rto: SimDuration::from_secs(2),

@@ -45,7 +45,11 @@ impl SeqSet {
 
     #[inline]
     fn index(&self, seq: u64) -> (usize, u64) {
-        assert!(seq < self.capacity, "seq {seq} out of range 0..{}", self.capacity);
+        assert!(
+            seq < self.capacity,
+            "seq {seq} out of range 0..{}",
+            self.capacity
+        );
         ((seq / 64) as usize, 1u64 << (seq % 64))
     }
 

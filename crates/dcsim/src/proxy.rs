@@ -20,6 +20,26 @@ use crate::agent::{Agent, Counter, Ctx};
 use crate::packet::{FlowId, HostId, Packet, PacketKind};
 use crate::time::SimDuration;
 use std::collections::HashMap;
+use std::fmt;
+
+/// Why a proxy rejected a flow registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyError {
+    /// The flow is already registered (with possibly different endpoints).
+    AlreadyRegistered { flow: FlowId },
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::AlreadyRegistered { flow } => {
+                write!(f, "{flow} is already registered at this proxy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
 
 /// Address pair of a proxied flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,13 +88,19 @@ impl StreamlinedProxy {
         self.host
     }
 
-    /// Registers a flow to be relayed through this proxy.
-    ///
-    /// # Panics
-    /// Panics on double registration.
-    pub fn register(&mut self, flow: FlowId, sender: HostId, receiver: HostId) {
-        let prev = self.flows.insert(flow, ProxiedFlow { sender, receiver });
-        assert!(prev.is_none(), "{flow} registered twice");
+    /// Registers a flow to be relayed through this proxy. Rejects double
+    /// registration instead of silently rebinding the flow's endpoints.
+    pub fn register(
+        &mut self,
+        flow: FlowId,
+        sender: HostId,
+        receiver: HostId,
+    ) -> Result<(), ProxyError> {
+        if self.flows.contains_key(&flow) {
+            return Err(ProxyError::AlreadyRegistered { flow });
+        }
+        self.flows.insert(flow, ProxiedFlow { sender, receiver });
+        Ok(())
     }
 
     /// Number of registered flows.
@@ -85,10 +111,13 @@ impl StreamlinedProxy {
 
 impl Agent for StreamlinedProxy {
     fn on_packet(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
-        let dirs = *self
-            .flows
-            .get(&pkt.flow)
-            .unwrap_or_else(|| panic!("{} not registered at proxy", pkt.flow));
+        let Some(&dirs) = self.flows.get(&pkt.flow) else {
+            // Unknown flow (lost registration, misrouted packet): a real
+            // middlebox drops such traffic rather than crashing. The
+            // sender's RTO recovers the packet end to end.
+            ctx.count(Counter::ProxyUnknownFlowDrops, 1);
+            return;
+        };
         match pkt.kind {
             PacketKind::Data => {
                 debug_assert_eq!(pkt.src, dirs.sender);
@@ -128,7 +157,7 @@ mod tests {
 
     fn proxy() -> StreamlinedProxy {
         let mut p = StreamlinedProxy::new(PROXY, SimDuration::from_nanos(420));
-        p.register(FlowId(0), SENDER, RECEIVER);
+        p.register(FlowId(0), SENDER, RECEIVER).expect("fresh flow");
         p
     }
 
@@ -206,7 +235,11 @@ mod tests {
         let mut fx = Vec::new();
         let data = Packet::data(FlowId(0), 0, SENDER, PROXY, 0);
         p.on_packet(data, &mut ctx_with(&mut fx));
-        match &fx.iter().find(|e| matches!(e, Effect::Send { .. })).unwrap() {
+        match &fx
+            .iter()
+            .find(|e| matches!(e, Effect::Send { .. }))
+            .unwrap()
+        {
             Effect::Send { delay, .. } => assert_eq!(*delay, SimDuration::from_nanos(420)),
             other => panic!("unexpected {other:?}"),
         }
@@ -215,7 +248,8 @@ mod tests {
     #[test]
     fn serves_multiple_flows() {
         let mut p = proxy();
-        p.register(FlowId(1), HostId(2), RECEIVER);
+        p.register(FlowId(1), HostId(2), RECEIVER)
+            .expect("fresh flow");
         assert_eq!(p.flow_count(), 2);
         let mut fx = Vec::new();
         let data = Packet::data(FlowId(1), 0, HostId(2), PROXY, 0);
@@ -224,17 +258,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "registered twice")]
-    fn double_registration_panics() {
+    fn double_registration_rejected() {
         let mut p = proxy();
-        p.register(FlowId(0), SENDER, RECEIVER);
+        assert_eq!(
+            p.register(FlowId(0), SENDER, RECEIVER),
+            Err(ProxyError::AlreadyRegistered { flow: FlowId(0) })
+        );
+        assert_eq!(p.flow_count(), 1, "rejected registration must not rebind");
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    fn unknown_flow_panics() {
+    fn unknown_flow_dropped_and_counted() {
         let mut p = proxy();
+        let mut fx = Vec::new();
         let data = Packet::data(FlowId(9), 0, SENDER, PROXY, 0);
-        p.on_packet(data, &mut ctx_with(&mut Vec::new()));
+        p.on_packet(data, &mut ctx_with(&mut fx));
+        assert!(
+            !fx.iter().any(|e| matches!(e, Effect::Send { .. })),
+            "unknown flows must not be forwarded"
+        );
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Count {
+                counter: Counter::ProxyUnknownFlowDrops,
+                amount: 1
+            }
+        )));
     }
 }

@@ -1,10 +1,11 @@
 //! The simulator: event loop, port transmit state machines, switch
 //! forwarding with packet spraying, and agent dispatch.
 
-use crate::agent::{Agent, Ctx, Effect};
-use crate::events::{Event, EventQueue};
+use crate::agent::{Agent, Counter, Ctx, Effect};
+use crate::events::{Event, EventQueue, FaultEvent};
+use crate::faults::{FaultError, FaultPlan};
 use crate::metrics::SimMetrics;
-use crate::packet::{AgentId, FlowId, HostId, NodeId, Packet, PortId};
+use crate::packet::{AgentId, FlowId, HostId, NodeId, Packet, PacketKind, PortId};
 use crate::queues::{EnqueueOutcome, PortQueue, QueueStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeRole, Topology};
@@ -58,6 +59,17 @@ pub struct Simulator {
     /// Occupancy traces of designated ports: (time, total queued bytes)
     /// sampled at every enqueue and dequeue.
     traces: std::collections::HashMap<PortId, Vec<(SimTime, u64)>>,
+    /// Per-port "link is down" flags toggled by fault events.
+    link_down: Vec<bool>,
+    /// Per-port (loss, corruption) probabilities from installed fault
+    /// plans; all zero without faults, in which case `fault_rng` is never
+    /// consulted and runs stay bit-identical to a fault-free simulator.
+    impairments: Vec<(f64, f64)>,
+    /// Per-agent crash flags; indexed like `agents`, grown lazily.
+    crashed: Vec<bool>,
+    /// Dedicated RNG stream for impairment draws, separate from the
+    /// spraying/ECN stream so fault plans never perturb routing draws.
+    fault_rng: SplitMix64,
 }
 
 impl Simulator {
@@ -70,6 +82,7 @@ impl Simulator {
                 busy: false,
             })
             .collect();
+        let port_count = topo.port_count();
         Simulator {
             topo,
             events: EventQueue::new(),
@@ -81,7 +94,99 @@ impl Simulator {
             event_cap: 2_000_000_000,
             effects_pool: Vec::new(),
             traces: std::collections::HashMap::new(),
+            link_down: vec![false; port_count],
+            impairments: vec![(0.0, 0.0); port_count],
+            crashed: Vec::new(),
+            fault_rng: SplitMix64::new(derive_seed(seed, 0xFA_0175)),
         }
+    }
+
+    /// Installs a [`FaultPlan`]: validates it against this simulator's
+    /// topology and agents, activates port impairments, and schedules the
+    /// link and crash transitions on the event queue.
+    ///
+    /// May be called multiple times; impairment probabilities on the same
+    /// port accumulate. Installing an empty plan is a no-op and keeps the
+    /// run bit-identical to one without fault support.
+    pub fn install_faults(&mut self, plan: &FaultPlan) -> Result<(), FaultError> {
+        plan.validate()?;
+        let now = self.now();
+        // Bounds- and time-check everything before mutating any state, so
+        // a rejected plan leaves the simulator untouched.
+        for w in &plan.link_windows {
+            if w.port.index() >= self.ports.len() {
+                return Err(FaultError::UnknownPort {
+                    port: w.port,
+                    ports: self.ports.len(),
+                });
+            }
+            if w.down_at < now {
+                return Err(FaultError::InThePast { at: w.down_at, now });
+            }
+        }
+        for imp in &plan.impairments {
+            if imp.port.index() >= self.ports.len() {
+                return Err(FaultError::UnknownPort {
+                    port: imp.port,
+                    ports: self.ports.len(),
+                });
+            }
+            let (loss, corrupt) = self.impairments[imp.port.index()];
+            let total = loss + imp.loss + corrupt + imp.corrupt;
+            if total > 1.0 {
+                return Err(FaultError::CombinedProbabilityTooHigh {
+                    port: imp.port,
+                    total,
+                });
+            }
+        }
+        for c in &plan.crashes {
+            if c.agent.index() >= self.agents.len() {
+                return Err(FaultError::UnknownAgent {
+                    agent: c.agent,
+                    agents: self.agents.len(),
+                });
+            }
+            if c.at < now {
+                return Err(FaultError::InThePast { at: c.at, now });
+            }
+        }
+        for w in &plan.link_windows {
+            self.events.schedule(
+                w.down_at,
+                Event::Fault(FaultEvent::LinkDown { port: w.port }),
+            );
+            if let Some(up) = w.up_at {
+                self.events
+                    .schedule(up, Event::Fault(FaultEvent::LinkUp { port: w.port }));
+            }
+        }
+        for imp in &plan.impairments {
+            let slot = &mut self.impairments[imp.port.index()];
+            slot.0 += imp.loss;
+            slot.1 += imp.corrupt;
+        }
+        for c in &plan.crashes {
+            self.events.schedule(
+                c.at,
+                Event::Fault(FaultEvent::AgentCrash { agent: c.agent }),
+            );
+            if let Some(r) = c.restore_at {
+                self.events
+                    .schedule(r, Event::Fault(FaultEvent::AgentRestore { agent: c.agent }));
+            }
+        }
+        Ok(())
+    }
+
+    /// True while `agent` is crashed by an installed fault plan.
+    pub fn is_agent_crashed(&self, agent: AgentId) -> bool {
+        self.crashed.get(agent.index()).copied().unwrap_or(false)
+    }
+
+    /// True while `port`'s link is held down by an installed fault plan.
+    pub fn is_link_down(&self, port: PortId) -> bool {
+        self.link_down[port.index()]
     }
 
     /// The topology this simulator runs over.
@@ -185,6 +290,32 @@ impl Simulator {
                 Event::Inject { port, packet } => {
                     self.enqueue_on_port(now, port, packet);
                 }
+                Event::Fault(fault) => self.apply_fault(now, fault),
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, now: SimTime, fault: FaultEvent) {
+        match fault {
+            FaultEvent::LinkDown { port } => {
+                self.link_down[port.index()] = true;
+            }
+            FaultEvent::LinkUp { port } => {
+                self.link_down[port.index()] = false;
+                // Resume draining whatever survived the outage in-queue.
+                self.try_start_tx(now, port);
+            }
+            FaultEvent::AgentCrash { agent } => {
+                if self.crashed.len() < self.agents.len() {
+                    self.crashed.resize(self.agents.len(), false);
+                }
+                self.crashed[agent.index()] = true;
+                self.agents[agent.index()].on_crash();
+            }
+            FaultEvent::AgentRestore { agent } => {
+                if let Some(flag) = self.crashed.get_mut(agent.index()) {
+                    *flag = false;
+                }
             }
         }
     }
@@ -208,11 +339,21 @@ impl Simulator {
                     packet.dst
                 );
                 let agent = self.agent_for(packet.flow, host);
+                if self.is_agent_crashed(agent) {
+                    // The host process is down: the packet is destroyed on
+                    // arrival instead of reaching a handler.
+                    self.metrics.count(Counter::PacketsLostToFault, 1);
+                    return;
+                }
                 self.dispatch(now, agent, |a, ctx| a.on_packet(packet, ctx));
             }
             _ => {
                 let cands = self.topo.candidates(node, packet.dst);
-                debug_assert!(!cands.is_empty(), "switch {node} has no route to {}", packet.dst);
+                debug_assert!(
+                    !cands.is_empty(),
+                    "switch {node} has no route to {}",
+                    packet.dst
+                );
                 let pick = if cands.len() == 1 {
                     0
                 } else {
@@ -234,8 +375,35 @@ impl Simulator {
             .unwrap_or_else(|| panic!("{flow} has no agent bound at {host}"))
     }
 
-    fn enqueue_on_port(&mut self, now: SimTime, port: PortId, packet: Packet) {
-        let outcome = self.ports[port.index()].queue.enqueue(packet, &mut self.rng);
+    fn enqueue_on_port(&mut self, now: SimTime, port: PortId, mut packet: Packet) {
+        if self.link_down[port.index()] {
+            // A down link blackholes everything offered to it; packets
+            // already queued stay put and drain after link-up.
+            self.metrics.count(Counter::PacketsLostToFault, 1);
+            return;
+        }
+        let (loss, corrupt) = self.impairments[port.index()];
+        if loss > 0.0 || corrupt > 0.0 {
+            let draw = self.fault_rng.next_f64();
+            if draw < loss {
+                self.metrics.count(Counter::PacketsLostToFault, 1);
+                return;
+            }
+            if draw < loss + corrupt {
+                if packet.kind == PacketKind::Data && !packet.trimmed {
+                    // Corrupted payload: deliver the header only, like a
+                    // trimming switch, so the receiver can NACK it.
+                    packet.trim();
+                } else {
+                    // Control packets have nothing to trim: destroyed.
+                    self.metrics.count(Counter::PacketsLostToFault, 1);
+                    return;
+                }
+            }
+        }
+        let outcome = self.ports[port.index()]
+            .queue
+            .enqueue(packet, &mut self.rng);
         self.sample_trace(now, port);
         if outcome != EnqueueOutcome::Dropped {
             self.try_start_tx(now, port);
@@ -257,6 +425,9 @@ impl Simulator {
     /// store-and-forward — the packet is delivered to the next node after
     /// serialization plus propagation.
     fn try_start_tx(&mut self, now: SimTime, port: PortId) {
+        if self.link_down[port.index()] {
+            return;
+        }
         let rt = &mut self.ports[port.index()];
         if rt.busy {
             return;
@@ -284,6 +455,11 @@ impl Simulator {
     where
         F: FnOnce(&mut dyn Agent, &mut Ctx),
     {
+        if self.is_agent_crashed(agent) {
+            // Crashed agents run no handlers: timers, flow starts and
+            // notifies addressed to them silently die.
+            return;
+        }
         let mut effects = self.effects_pool.pop().unwrap_or_default();
         debug_assert!(effects.is_empty());
         {
@@ -334,10 +510,12 @@ impl Simulator {
                 Effect::Count { counter, amount } => {
                     self.metrics.count(counter, amount);
                 }
+                Effect::FailoverLatency { flow, latency } => {
+                    self.metrics.failover_latency(flow, latency);
+                }
             }
         }
     }
-
 }
 
 #[cfg(test)]
@@ -355,7 +533,11 @@ mod tests {
         let dst = sim.topology().hosts_in_dc(1)[0];
         let down_tor = sim.topology().down_tor_port(dst);
         sim.trace_port(down_tor);
-        install_flow(&mut sim, FlowSpec::new(HostId(0), dst, 2_000_000), SimTime::ZERO);
+        install_flow(
+            &mut sim,
+            FlowSpec::new(HostId(0), dst, 2_000_000),
+            SimTime::ZERO,
+        );
         sim.run(Some(SimTime::ZERO + SimDuration::from_secs(30)));
         let trace = sim.port_trace(down_tor);
         assert!(!trace.is_empty(), "traced port saw traffic");
@@ -371,7 +553,11 @@ mod tests {
         let mut sim = Simulator::new(topo, 3);
         let dst = sim.topology().hosts_in_dc(1)[0];
         let down_tor = sim.topology().down_tor_port(dst);
-        install_flow(&mut sim, FlowSpec::new(HostId(0), dst, 100_000), SimTime::ZERO);
+        install_flow(
+            &mut sim,
+            FlowSpec::new(HostId(0), dst, 100_000),
+            SimTime::ZERO,
+        );
         sim.run(None);
         assert!(sim.port_trace(down_tor).is_empty());
     }
@@ -381,6 +567,7 @@ mod tests {
 mod dispatch_tests {
     use crate::agent::{Agent, Ctx, Note};
     use crate::events::TimerKind;
+    use crate::flows::{install_flow, FlowSpec};
     use crate::packet::{AgentId, HostId, Packet};
     use crate::sim::Simulator;
     use crate::time::{SimDuration, SimTime};
@@ -486,7 +673,11 @@ mod dispatch_tests {
     }
     impl Agent for ArrivalLog {
         fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
-            self.order.0.lock().expect("lock").push((pkt.seq, ctx.now.0));
+            self.order
+                .0
+                .lock()
+                .expect("lock")
+                .push((pkt.seq, ctx.now.0));
         }
     }
 
@@ -498,7 +689,9 @@ mod dispatch_tests {
         let dst = HostId(1);
         let flow = sim.new_flow();
         let tx = sim.add_agent(Box::new(DelayedSender { dst, src }));
-        let rx = sim.add_agent(Box::new(ArrivalLog { order: order.clone() }));
+        let rx = sim.add_agent(Box::new(ArrivalLog {
+            order: order.clone(),
+        }));
         sim.bind(flow, src, tx);
         sim.bind(flow, dst, rx);
         sim.schedule_start(SimTime::ZERO, tx);
@@ -510,6 +703,93 @@ mod dispatch_tests {
         assert!(
             log[1].1 >= log[0].1 + SimDuration::from_micros(50).0,
             "delay must be at least the processing time: {log:?}"
+        );
+    }
+
+    /// Installing an *empty* fault plan must leave a run bit-identical to
+    /// one without the fault machinery: same event count, same end time,
+    /// same completion. (The fault RNG is a separate stream only drawn for
+    /// ports with impairments, and an empty plan schedules nothing.)
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let run = |with_plan: bool| {
+            let topo = two_dc_leaf_spine(&TwoDcParams::small_test());
+            let mut sim = Simulator::new(topo, 42);
+            let dst = sim.topology().hosts_in_dc(1)[0];
+            let handle = install_flow(
+                &mut sim,
+                FlowSpec::new(HostId(0), dst, 2_000_000),
+                SimTime::ZERO,
+            );
+            if with_plan {
+                sim.install_faults(&crate::faults::FaultPlan::new())
+                    .expect("empty plan is valid");
+            }
+            let report = sim.run(Some(SimTime::ZERO + SimDuration::from_secs(30)));
+            let done = sim.metrics().completion(handle.flow).expect("completes");
+            (report.events, report.end_time, done)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// A link-down window blackholes packets offered to the port while it
+    /// is down; the flow still completes after the link returns (RTO-driven
+    /// retransmission), and the destroyed packets are counted.
+    #[test]
+    fn link_flap_blackholes_then_flow_recovers() {
+        let topo = two_dc_leaf_spine(&TwoDcParams::small_test());
+        let mut sim = Simulator::new(topo, 7);
+        let dst = sim.topology().hosts_in_dc(1)[0];
+        let down_tor = sim.topology().down_tor_port(dst);
+        let handle = install_flow(
+            &mut sim,
+            FlowSpec::new(HostId(0), dst, 2_000_000),
+            SimTime::ZERO,
+        );
+        let down = SimTime::ZERO + SimDuration::from_micros(50);
+        let plan = crate::faults::FaultPlan::new().link_down_window(
+            down_tor,
+            down,
+            down + SimDuration::from_micros(300),
+        );
+        sim.install_faults(&plan).expect("valid plan");
+        let report = sim.run(Some(SimTime::ZERO + SimDuration::from_secs(30)));
+        assert_eq!(report.stop, crate::sim::StopReason::Idle);
+        assert!(sim.metrics().completion(handle.flow).is_some());
+        assert!(
+            sim.metrics()
+                .counter(crate::agent::Counter::PacketsLostToFault)
+                > 0,
+            "the outage overlaps the transfer"
+        );
+    }
+
+    /// A crash window on the receiving agent destroys packets on arrival;
+    /// after restoration the sender's retransmissions complete the flow.
+    #[test]
+    fn agent_crash_window_recovers_after_restore() {
+        let topo = two_dc_leaf_spine(&TwoDcParams::small_test());
+        let mut sim = Simulator::new(topo, 9);
+        let dst = sim.topology().hosts_in_dc(1)[0];
+        let handle = install_flow(
+            &mut sim,
+            FlowSpec::new(HostId(0), dst, 2_000_000),
+            SimTime::ZERO,
+        );
+        let crash = SimTime::ZERO + SimDuration::from_micros(50);
+        let plan = crate::faults::FaultPlan::new().crash_agent_window(
+            handle.receiver,
+            crash,
+            crash + SimDuration::from_micros(500),
+        );
+        sim.install_faults(&plan).expect("valid plan");
+        let report = sim.run(Some(SimTime::ZERO + SimDuration::from_secs(30)));
+        assert_eq!(report.stop, crate::sim::StopReason::Idle);
+        assert!(sim.metrics().completion(handle.flow).is_some());
+        assert!(
+            sim.metrics()
+                .counter(crate::agent::Counter::PacketsLostToFault)
+                > 0
         );
     }
 }

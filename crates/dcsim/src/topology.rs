@@ -123,10 +123,7 @@ impl TopologyBuilder {
 
     /// Adds a switch and returns its node id.
     pub fn add_switch(&mut self, role: NodeRole, dc: Option<u32>) -> NodeId {
-        assert!(
-            !matches!(role, NodeRole::Host(_)),
-            "use add_host for hosts"
-        );
+        assert!(!matches!(role, NodeRole::Host(_)), "use add_host for hosts");
         let node = NodeId(self.nodes.len() as u32);
         self.nodes.push(NodeSpec {
             role,
@@ -142,9 +139,23 @@ impl TopologyBuilder {
     }
 
     /// Adds a unidirectional port from `from` to `to`.
-    pub fn add_port(&mut self, from: NodeId, to: NodeId, link: LinkProps, queue: QueueConfig) -> PortId {
+    ///
+    /// # Panics
+    /// Panics on unknown nodes or an invalid queue config — catching a bad
+    /// config at construction, with the offending link named, instead of
+    /// deep inside [`crate::sim::Simulator::new`].
+    pub fn add_port(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        link: LinkProps,
+        queue: QueueConfig,
+    ) -> PortId {
         assert!(from.index() < self.nodes.len(), "unknown node {from}");
         assert!(to.index() < self.nodes.len(), "unknown node {to}");
+        if let Err(e) = queue.validate() {
+            panic!("invalid queue config on port {from} -> {to}: {e}");
+        }
         let port = PortId(self.ports.len() as u32);
         self.ports.push(PortSpec {
             from,
@@ -202,12 +213,7 @@ impl TopologyBuilder {
                 if NodeId(i as u32) == host_node {
                     continue;
                 }
-                assert!(
-                    dist[i] != u32::MAX,
-                    "node {} cannot reach host {}",
-                    i,
-                    h
-                );
+                assert!(dist[i] != u32::MAX, "node {} cannot reach host {}", i, h);
                 for &port in &node.ports {
                     let to = self.ports[port.index()].to;
                     if dist[to.index()] + 1 == dist[i] {
@@ -309,7 +315,9 @@ impl Topology {
     pub fn path_latency(&self, src: HostId, dst: HostId) -> SimDuration {
         self.walk_path(src, dst)
             .iter()
-            .fold(SimDuration::ZERO, |acc, &p| acc + self.ports[p.index()].link.latency)
+            .fold(SimDuration::ZERO, |acc, &p| {
+                acc + self.ports[p.index()].link.latency
+            })
     }
 
     /// Minimum link bandwidth along a shortest path.
@@ -324,7 +332,13 @@ impl Topology {
     /// Base RTT estimate between two hosts: propagation both ways plus one
     /// serialization of `data_bytes` and `ack_bytes` per hop (store-and-
     /// forward).
-    pub fn base_rtt(&self, src: HostId, dst: HostId, data_bytes: u64, ack_bytes: u64) -> SimDuration {
+    pub fn base_rtt(
+        &self,
+        src: HostId,
+        dst: HostId,
+        data_bytes: u64,
+        ack_bytes: u64,
+    ) -> SimDuration {
         let fwd = self.walk_path(src, dst);
         let rev = self.walk_path(dst, src);
         let mut rtt = SimDuration::ZERO;
@@ -459,7 +473,10 @@ impl TwoDcParams {
 
     /// Sets the leaf↔spine latency jitter (see `intra_latency_jitter`).
     pub fn with_path_jitter(mut self, jitter: f64, seed: u64) -> Self {
-        assert!((0.0..=10.0).contains(&jitter), "unreasonable jitter {jitter}");
+        assert!(
+            (0.0..=10.0).contains(&jitter),
+            "unreasonable jitter {jitter}"
+        );
         self.intra_latency_jitter = jitter;
         self.jitter_seed = seed;
         self
@@ -529,6 +546,21 @@ pub fn two_dc_leaf_spine(p: &TwoDcParams) -> Topology {
 mod tests {
     use super::*;
     use crate::packet::HostId;
+
+    #[test]
+    #[should_panic(expected = "invalid queue config")]
+    fn add_port_rejects_invalid_queue_config() {
+        let mut b = TopologyBuilder::new();
+        let ha = b.add_host(None);
+        let hc = b.add_host(None);
+        let a = b.host_node(ha);
+        let c = b.host_node(hc);
+        let bad = QueueConfig {
+            capacity_bytes: 0,
+            ..QueueConfig::datacenter()
+        };
+        b.add_port(a, c, LinkProps::datacenter(), bad);
+    }
 
     #[test]
     fn paper_topology_dimensions() {
@@ -686,7 +718,10 @@ mod extension_tests {
         let min = latencies.iter().min().unwrap();
         let max = latencies.iter().max().unwrap();
         assert!(max > min, "jitter must create unequal paths");
-        assert!(max.0 <= SimDuration::from_micros(1).0 * 3 / 2, "bounded by 1.5x");
+        assert!(
+            max.0 <= SimDuration::from_micros(1).0 * 3 / 2,
+            "bounded by 1.5x"
+        );
     }
 
     #[test]
@@ -827,7 +862,10 @@ mod unstructured_tests {
     #[test]
     fn deterministic_per_seed() {
         let hops = |seed| {
-            let t = two_dc_unstructured(&UnstructuredParams { seed, ..Default::default() });
+            let t = two_dc_unstructured(&UnstructuredParams {
+                seed,
+                ..Default::default()
+            });
             let src = t.hosts_in_dc(0)[0];
             (0..32u32)
                 .map(|i| t.path_hops(src, t.hosts_in_dc(1)[i as usize % 32]))
@@ -870,7 +908,11 @@ mod unstructured_tests {
         };
         let mut sim = Simulator::new(two_dc_unstructured(&params), 4);
         let dst = sim.topology().hosts_in_dc(1)[0];
-        let h = install_flow(&mut sim, FlowSpec::new(HostId(0), dst, 2_000_000), SimTime::ZERO);
+        let h = install_flow(
+            &mut sim,
+            FlowSpec::new(HostId(0), dst, 2_000_000),
+            SimTime::ZERO,
+        );
         let report = sim.run(Some(SimTime::ZERO + SimDuration::from_secs(60)));
         assert_eq!(report.stop, StopReason::Idle, "{report:?}");
         assert!(sim.metrics().completion(h.flow).is_some());

@@ -94,8 +94,8 @@ impl BackgroundTraffic {
                 }
             };
             let bytes = self.sizes.sample(&mut rng);
-            let start = SimTime::ZERO
-                + SimDuration((self.start_window.0 as f64 * rng.next_f64()) as u64);
+            let start =
+                SimTime::ZERO + SimDuration((self.start_window.0 as f64 * rng.next_f64()) as u64);
             handles.push(install_flow(sim, FlowSpec::new(src, dst, bytes), start));
         }
         handles
@@ -153,7 +153,9 @@ mod tests {
     #[test]
     fn websearch_mix_is_mostly_mice() {
         let mut rng = SplitMix64::new(2);
-        let sizes: Vec<u64> = (0..10_000).map(|_| FlowSizeDist::WebSearch.sample(&mut rng)).collect();
+        let sizes: Vec<u64> = (0..10_000)
+            .map(|_| FlowSizeDist::WebSearch.sample(&mut rng))
+            .collect();
         let mice = sizes.iter().filter(|&&s| s <= 100_000).count();
         let elephants = sizes.iter().filter(|&&s| s > 1_000_000).count();
         assert!((5000..7000).contains(&mice), "mice={mice}");

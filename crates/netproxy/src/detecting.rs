@@ -173,14 +173,10 @@ mod tests {
             }
             count
         });
-        let proxy = DetectingUdpProxy::start(
-            loopback(),
-            recv_addr,
-            config(),
-            Duration::from_millis(30),
-        )
-        .await
-        .unwrap();
+        let proxy =
+            DetectingUdpProxy::start(loopback(), recv_addr, config(), Duration::from_millis(30))
+                .await
+                .unwrap();
         let sender = UdpSocket::bind(loopback()).await.unwrap();
         (proxy, sender, drain)
     }
@@ -230,23 +226,18 @@ mod tests {
     async fn forwards_data_and_feedback() {
         let recv_sock = UdpSocket::bind(loopback()).await.unwrap();
         let recv_addr = recv_sock.local_addr().unwrap();
-        let proxy = DetectingUdpProxy::start(
-            loopback(),
-            recv_addr,
-            config(),
-            Duration::from_millis(50),
-        )
-        .await
-        .unwrap();
+        let proxy =
+            DetectingUdpProxy::start(loopback(), recv_addr, config(), Duration::from_millis(50))
+                .await
+                .unwrap();
         let sender = UdpSocket::bind(loopback()).await.unwrap();
         let wire = WireHeader::data(3, 0, MAX_PAYLOAD as u16).encode(&vec![1u8; MAX_PAYLOAD]);
         sender.send_to(&wire, proxy.local_addr()).await.unwrap();
         let mut buf = [0u8; 2048];
-        let (n, _) =
-            tokio::time::timeout(Duration::from_secs(2), recv_sock.recv_from(&mut buf))
-                .await
-                .expect("forwarded")
-                .unwrap();
+        let (n, _) = tokio::time::timeout(Duration::from_secs(2), recv_sock.recv_from(&mut buf))
+            .await
+            .expect("forwarded")
+            .unwrap();
         let (h, p) = WireHeader::decode(&buf[..n]).unwrap();
         assert!(h.flags.contains(Flags::DATA));
         assert_eq!(p.len(), MAX_PAYLOAD);

@@ -42,5 +42,7 @@ pub mod wire;
 pub use detecting::DetectingUdpProxy;
 pub use naive::NaiveProxy;
 pub use streamlined::{decide, Action, StreamlinedUdpProxy};
-pub use transport::{ReliableReceiver, ReliableSender, TransferStats};
+pub use transport::{
+    FallbackConfig, ReliableReceiver, ReliableSender, TransferStats, TransportError,
+};
 pub use wire::{Flags, WireHeader, WIRE_HEADER_LEN};

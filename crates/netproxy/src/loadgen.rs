@@ -132,7 +132,10 @@ impl UdpLoadGen {
     /// Sends data datagrams to `target` (the proxy), trimming whatever the
     /// virtual switch cannot absorb.
     pub async fn run(&self, socket: &UdpSocket, target: SocketAddr) -> io::Result<LoadStats> {
-        assert!(self.rate_bps > 0 && self.switch_rate_bps > 0, "invalid load config");
+        assert!(
+            self.rate_bps > 0 && self.switch_rate_bps > 0,
+            "invalid load config"
+        );
         let payload = vec![0x17u8; MAX_PAYLOAD];
         let start = Instant::now();
         let mut stats = LoadStats::default();
@@ -148,7 +151,8 @@ impl UdpLoadGen {
                 tokio::time::sleep(Duration::from_micros(100)).await;
                 continue;
             }
-            let drained = (start.elapsed().as_secs_f64() * self.switch_rate_bps as f64 / 8.0) as u64;
+            let drained =
+                (start.elapsed().as_secs_f64() * self.switch_rate_bps as f64 / 8.0) as u64;
             let queued = accepted.saturating_sub(drained);
             let datagram = if queued + MAX_PAYLOAD as u64 > self.switch_buffer_bytes {
                 // Virtual switch full: trim the payload, forward the header.

@@ -263,11 +263,8 @@ mod tests {
         if let Ok(mut c) = TcpStream::connect(addr).await {
             c.write_all(b"x").await.ok();
             let mut buf = [0u8; 1];
-            let read = tokio::time::timeout(
-                std::time::Duration::from_millis(200),
-                c.read(&mut buf),
-            )
-            .await;
+            let read =
+                tokio::time::timeout(std::time::Duration::from_millis(200), c.read(&mut buf)).await;
             match read {
                 Ok(Ok(0)) | Err(_) | Ok(Err(_)) => {} // closed or timed out: fine
                 Ok(Ok(_)) => panic!("proxy still relaying after shutdown"),

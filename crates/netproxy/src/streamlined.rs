@@ -8,7 +8,7 @@
 //! Figure 5a analogue, while [`StreamlinedUdpProxy`] wraps it in real
 //! sockets to measure the Figure 5b through-stack upper bound.
 
-use crate::wire::{Flags, WireHeader, WireError};
+use crate::wire::{Flags, WireError, WireHeader};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,9 +55,9 @@ pub fn decide(datagram: &[u8]) -> Action {
                 Action::ForwardToSender
             }
         }
-        Err(WireError::Truncated | WireError::BadMagic | WireError::BadFlags | WireError::BadLength) => {
-            Action::Drop
-        }
+        Err(
+            WireError::Truncated | WireError::BadMagic | WireError::BadFlags | WireError::BadLength,
+        ) => Action::Drop,
     }
 }
 
@@ -200,8 +200,14 @@ mod tests {
 
     #[test]
     fn decide_reverses_feedback() {
-        assert_eq!(decide(&WireHeader::ack(1, 2).encode(&[])), Action::ForwardToSender);
-        assert_eq!(decide(&WireHeader::nack(1, 2).encode(&[])), Action::ForwardToSender);
+        assert_eq!(
+            decide(&WireHeader::ack(1, 2).encode(&[])),
+            Action::ForwardToSender
+        );
+        assert_eq!(
+            decide(&WireHeader::nack(1, 2).encode(&[])),
+            Action::ForwardToSender
+        );
     }
 
     #[test]
@@ -290,7 +296,10 @@ mod tests {
             .await
             .unwrap();
         let sender = UdpSocket::bind(loopback()).await.unwrap();
-        sender.send_to(&[0xAB; 50], proxy.local_addr()).await.unwrap();
+        sender
+            .send_to(&[0xAB; 50], proxy.local_addr())
+            .await
+            .unwrap();
         // Give the relay loop a moment.
         tokio::time::sleep(Duration::from_millis(50)).await;
         assert_eq!(proxy.stats().dropped.load(Ordering::Relaxed), 1);

@@ -9,10 +9,73 @@
 
 use crate::wire::{Flags, WireHeader, MAX_PAYLOAD};
 use std::collections::BTreeSet;
+use std::fmt;
 use std::io;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 use tokio::net::UdpSocket;
+
+/// Why a transfer failed — typed so callers can distinguish "the network
+/// never delivered" from "the socket broke" without parsing error strings.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The deadline expired with the transfer incomplete.
+    Deadline {
+        /// Packets finished (acked on the sender, received on the receiver).
+        done: u64,
+        /// Packets in the flow.
+        total: u64,
+    },
+    /// A socket operation failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Deadline { done, total } => {
+                write!(f, "deadline expired with {done}/{total} packets done")
+            }
+            TransportError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            TransportError::Deadline { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// Degradation policy for [`ReliableSender::run_with_fallback`]: when the
+/// proxy path stays silent too long, abandon it for the direct path and
+/// re-probe the proxy with exponential backoff — the real-socket mirror of
+/// the simulator's sender-side failover.
+#[derive(Debug, Clone, Copy)]
+pub struct FallbackConfig {
+    /// Consecutive RTO-lengths of feedback silence before failing over.
+    pub rto_threshold: u32,
+    /// Cap on the exponential probe backoff while degraded.
+    pub probe_backoff_max: Duration,
+}
+
+impl Default for FallbackConfig {
+    fn default() -> Self {
+        FallbackConfig {
+            rto_threshold: 3,
+            probe_backoff_max: Duration::from_secs(1),
+        }
+    }
+}
 
 /// Transfer statistics returned by [`ReliableSender::run`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -25,6 +88,12 @@ pub struct TransferStats {
     pub nack_retransmits: u64,
     /// Retransmissions triggered by the timer.
     pub timeout_retransmits: u64,
+    /// Failovers from the proxy path to the direct path.
+    pub failovers: u64,
+    /// Probe packets sent through the proxy while degraded.
+    pub proxy_probes: u64,
+    /// Failbacks onto a recovered proxy.
+    pub failbacks: u64,
     /// Wall-clock completion time.
     pub elapsed: Duration,
 }
@@ -49,9 +118,51 @@ impl ReliableSender {
     /// and reflects NACKs), driven by `socket`.
     ///
     /// # Errors
-    /// I/O errors, or `TimedOut` if the deadline expires.
-    pub async fn run(&self, socket: &UdpSocket, proxy: SocketAddr) -> io::Result<TransferStats> {
-        assert!(self.total_packets > 0 && self.window > 0, "invalid transfer");
+    /// [`TransportError::Io`] on socket failure, [`TransportError::Deadline`]
+    /// if the deadline expires.
+    pub async fn run(
+        &self,
+        socket: &UdpSocket,
+        proxy: SocketAddr,
+    ) -> Result<TransferStats, TransportError> {
+        self.run_inner(socket, proxy, None, FallbackConfig::default())
+            .await
+    }
+
+    /// Like [`ReliableSender::run`], but degrades gracefully when the proxy
+    /// dies: after `fallback.rto_threshold` RTO-lengths of feedback silence
+    /// the sender retransmits everything outstanding straight to `direct`
+    /// (the receiver), keeps probing the proxy with exponential backoff, and
+    /// fails back the moment feedback arrives from the proxy again.
+    ///
+    /// # Errors
+    /// [`TransportError::Io`] on socket failure, [`TransportError::Deadline`]
+    /// if the deadline expires even on the direct path.
+    pub async fn run_with_fallback(
+        &self,
+        socket: &UdpSocket,
+        proxy: SocketAddr,
+        direct: SocketAddr,
+        fallback: FallbackConfig,
+    ) -> Result<TransferStats, TransportError> {
+        assert!(
+            fallback.rto_threshold > 0,
+            "threshold 0 would never use the proxy"
+        );
+        self.run_inner(socket, proxy, Some(direct), fallback).await
+    }
+
+    async fn run_inner(
+        &self,
+        socket: &UdpSocket,
+        proxy: SocketAddr,
+        direct: Option<SocketAddr>,
+        fallback: FallbackConfig,
+    ) -> Result<TransferStats, TransportError> {
+        assert!(
+            self.total_packets > 0 && self.window > 0,
+            "invalid transfer"
+        );
         let payload = vec![0x3Cu8; MAX_PAYLOAD];
         let start = Instant::now();
         let mut stats = TransferStats {
@@ -64,18 +175,24 @@ impl ReliableSender {
         let mut inflight: Vec<(u64, Instant)> = Vec::new();
         let mut rtx: BTreeSet<u64> = BTreeSet::new();
         let mut buf = [0u8; 2048];
+        // Degradation state (active only when a direct path is given).
+        let mut degraded = false;
+        let mut last_feedback = Instant::now();
+        let mut probe_backoff = self.rto.min(fallback.probe_backoff_max);
+        let mut next_probe = Instant::now();
 
         while (acked.len() as u64) < self.total_packets {
             if start.elapsed() > self.deadline {
-                return Err(io::Error::new(
-                    io::ErrorKind::TimedOut,
-                    format!(
-                        "transfer incomplete: {}/{} acked",
-                        acked.len(),
-                        self.total_packets
-                    ),
-                ));
+                return Err(TransportError::Deadline {
+                    done: acked.len() as u64,
+                    total: self.total_packets,
+                });
             }
+            let dest = if degraded {
+                direct.expect("degraded implies direct")
+            } else {
+                proxy
+            };
             // Fill the window: retransmissions first.
             while inflight.len() < self.window {
                 let seq = if let Some(&seq) = rtx.iter().next() {
@@ -91,23 +208,47 @@ impl ReliableSender {
                     continue;
                 }
                 let wire = WireHeader::data(self.flow, seq, MAX_PAYLOAD as u16).encode(&payload);
-                socket.send_to(&wire, proxy).await?;
+                socket.send_to(&wire, dest).await?;
                 stats.transmissions += 1;
                 inflight.push((seq, Instant::now()));
             }
+            // While degraded, keep asking the proxy whether it is back: one
+            // duplicate data packet per backoff interval. The receiver acks
+            // duplicates, so a live proxy relays proof of life.
+            if degraded && Instant::now() >= next_probe {
+                let probe_seq = (0..self.total_packets)
+                    .find(|s| !acked.contains(s))
+                    .unwrap_or(0);
+                let wire =
+                    WireHeader::data(self.flow, probe_seq, MAX_PAYLOAD as u16).encode(&payload);
+                socket.send_to(&wire, proxy).await?;
+                stats.proxy_probes += 1;
+                probe_backoff = (probe_backoff * 2).min(fallback.probe_backoff_max);
+                next_probe = Instant::now() + probe_backoff;
+            }
             // Reap feedback (bounded wait so timers stay responsive).
-            match tokio::time::timeout(Duration::from_millis(5), socket.recv_from(&mut buf)).await
-            {
-                Ok(Ok((n, _from))) => {
+            match tokio::time::timeout(Duration::from_millis(5), socket.recv_from(&mut buf)).await {
+                Ok(Ok((n, from))) => {
                     if let Ok((header, _)) = WireHeader::decode(&buf[..n]) {
                         if header.flow != self.flow {
                             continue;
                         }
+                        let feedback =
+                            header.flags.contains(Flags::ACK) || header.flags.contains(Flags::NACK);
+                        if feedback {
+                            last_feedback = Instant::now();
+                            if degraded && from == proxy {
+                                // The proxy relayed feedback: it is alive
+                                // again. Fail back onto the shared path.
+                                degraded = false;
+                                stats.failbacks += 1;
+                                probe_backoff = self.rto.min(fallback.probe_backoff_max);
+                            }
+                        }
                         if header.flags.contains(Flags::ACK) {
                             acked.insert(header.seq);
                             inflight.retain(|&(s, _)| s != header.seq);
-                        } else if header.flags.contains(Flags::NACK)
-                            && !acked.contains(&header.seq)
+                        } else if header.flags.contains(Flags::NACK) && !acked.contains(&header.seq)
                         {
                             inflight.retain(|&(s, _)| s != header.seq);
                             stats.nack_retransmits += 1;
@@ -115,7 +256,7 @@ impl ReliableSender {
                         }
                     }
                 }
-                Ok(Err(e)) => return Err(e),
+                Ok(Err(e)) => return Err(e.into()),
                 Err(_elapsed) => {}
             }
             // Timer-based recovery for anything silent past the RTO.
@@ -130,6 +271,22 @@ impl ReliableSender {
                     true
                 }
             });
+            // Sustained silence on the proxy path: give up on it and move
+            // everything outstanding to the direct path.
+            if !degraded
+                && direct.is_some()
+                && last_feedback.elapsed() >= self.rto * fallback.rto_threshold
+            {
+                degraded = true;
+                stats.failovers += 1;
+                for &(seq, _) in &inflight {
+                    rtx.insert(seq);
+                }
+                inflight.clear();
+                probe_backoff = self.rto.min(fallback.probe_backoff_max);
+                next_probe = Instant::now() + probe_backoff;
+                last_feedback = Instant::now();
+            }
         }
         stats.elapsed = start.elapsed();
         Ok(stats)
@@ -147,19 +304,20 @@ pub struct ReliableReceiver {
 
 impl ReliableReceiver {
     /// Serves the flow on `socket` until complete (acks are addressed to
-    /// the datagram source, i.e. the proxy, which relays them back).
+    /// the datagram source — the proxy when relayed, the sender itself when
+    /// it has failed over to the direct path).
     /// Returns the number of duplicate data packets seen.
-    pub async fn run(&self, socket: &UdpSocket, deadline: Duration) -> io::Result<u64> {
+    pub async fn run(&self, socket: &UdpSocket, deadline: Duration) -> Result<u64, TransportError> {
         let start = Instant::now();
         let mut received: BTreeSet<u64> = BTreeSet::new();
         let mut duplicates = 0u64;
         let mut buf = [0u8; 2048];
         while (received.len() as u64) < self.total_packets {
             if start.elapsed() > deadline {
-                return Err(io::Error::new(
-                    io::ErrorKind::TimedOut,
-                    format!("receive incomplete: {}/{}", received.len(), self.total_packets),
-                ));
+                return Err(TransportError::Deadline {
+                    done: received.len() as u64,
+                    total: self.total_packets,
+                });
             }
             let Ok(recv) =
                 tokio::time::timeout(Duration::from_millis(100), socket.recv_from(&mut buf)).await
@@ -198,7 +356,9 @@ mod tests {
     async fn lossless_transfer_completes() {
         let recv_sock = UdpSocket::bind(loopback()).await.unwrap();
         let recv_addr = recv_sock.local_addr().unwrap();
-        let proxy = StreamlinedUdpProxy::start(loopback(), recv_addr).await.unwrap();
+        let proxy = StreamlinedUdpProxy::start(loopback(), recv_addr)
+            .await
+            .unwrap();
         let receiver = tokio::spawn(async move {
             ReliableReceiver {
                 flow: 1,
@@ -230,7 +390,9 @@ mod tests {
     async fn trimmed_packets_recovered_by_nacks() {
         let recv_sock = UdpSocket::bind(loopback()).await.unwrap();
         let recv_addr = recv_sock.local_addr().unwrap();
-        let proxy = StreamlinedUdpProxy::start(loopback(), recv_addr).await.unwrap();
+        let proxy = StreamlinedUdpProxy::start(loopback(), recv_addr)
+            .await
+            .unwrap();
         let proxy_addr = proxy.local_addr();
         let receiver = tokio::spawn(async move {
             ReliableReceiver {
@@ -255,7 +417,114 @@ mod tests {
         let stats = lossy.run(&send_sock, proxy_addr).await.unwrap();
         receiver.await.unwrap().unwrap();
         assert!(stats.nack_retransmits >= 15, "{stats:?}");
-        assert_eq!(stats.timeout_retransmits, 0, "NACKs must beat the RTO: {stats:?}");
+        assert_eq!(
+            stats.timeout_retransmits, 0,
+            "NACKs must beat the RTO: {stats:?}"
+        );
+    }
+
+    /// A dead proxy (bound socket that never answers) must not stall the
+    /// transfer: the sender fails over to the direct path and completes.
+    #[tokio::test]
+    async fn dead_proxy_fails_over_to_direct() {
+        let recv_sock = UdpSocket::bind(loopback()).await.unwrap();
+        let recv_addr = recv_sock.local_addr().unwrap();
+        // Bound but never read: every datagram to it disappears.
+        let dead_proxy = UdpSocket::bind(loopback()).await.unwrap();
+        let dead_addr = dead_proxy.local_addr().unwrap();
+        let receiver = tokio::spawn(async move {
+            ReliableReceiver {
+                flow: 3,
+                total_packets: 50,
+            }
+            .run(&recv_sock, Duration::from_secs(15))
+            .await
+        });
+        let send_sock = UdpSocket::bind(loopback()).await.unwrap();
+        let stats = ReliableSender {
+            flow: 3,
+            total_packets: 50,
+            window: 16,
+            rto: Duration::from_millis(50),
+            deadline: Duration::from_secs(15),
+        }
+        .run_with_fallback(
+            &send_sock,
+            dead_addr,
+            recv_addr,
+            FallbackConfig {
+                rto_threshold: 2,
+                probe_backoff_max: Duration::from_secs(1),
+            },
+        )
+        .await
+        .unwrap();
+        receiver.await.unwrap().unwrap();
+        assert!(stats.failovers >= 1, "{stats:?}");
+        assert_eq!(stats.failbacks, 0, "dead proxy cannot recover: {stats:?}");
+    }
+
+    /// With a healthy proxy the fallback machinery must stay dormant.
+    #[tokio::test]
+    async fn healthy_proxy_never_fails_over() {
+        let recv_sock = UdpSocket::bind(loopback()).await.unwrap();
+        let recv_addr = recv_sock.local_addr().unwrap();
+        let proxy = StreamlinedUdpProxy::start(loopback(), recv_addr)
+            .await
+            .unwrap();
+        let receiver = tokio::spawn(async move {
+            ReliableReceiver {
+                flow: 4,
+                total_packets: 100,
+            }
+            .run(&recv_sock, Duration::from_secs(10))
+            .await
+        });
+        let send_sock = UdpSocket::bind(loopback()).await.unwrap();
+        let stats = ReliableSender {
+            flow: 4,
+            total_packets: 100,
+            window: 32,
+            rto: Duration::from_millis(500),
+            deadline: Duration::from_secs(10),
+        }
+        .run_with_fallback(
+            &send_sock,
+            proxy.local_addr(),
+            recv_addr,
+            FallbackConfig::default(),
+        )
+        .await
+        .unwrap();
+        receiver.await.unwrap().unwrap();
+        assert_eq!(stats.failovers, 0, "{stats:?}");
+        assert_eq!(stats.proxy_probes, 0, "{stats:?}");
+    }
+
+    /// The sender's deadline error carries typed progress, not a string.
+    #[tokio::test]
+    async fn deadline_error_is_typed() {
+        // No proxy, no direct path: nothing can ever be acked.
+        let dead_proxy = UdpSocket::bind(loopback()).await.unwrap();
+        let dead_addr = dead_proxy.local_addr().unwrap();
+        let send_sock = UdpSocket::bind(loopback()).await.unwrap();
+        let err = ReliableSender {
+            flow: 5,
+            total_packets: 10,
+            window: 4,
+            rto: Duration::from_millis(20),
+            deadline: Duration::from_millis(200),
+        }
+        .run(&send_sock, dead_addr)
+        .await
+        .unwrap_err();
+        match err {
+            TransportError::Deadline { done, total } => {
+                assert_eq!(done, 0);
+                assert_eq!(total, 10);
+            }
+            other => panic!("expected Deadline, got {other}"),
+        }
     }
 
     /// Wraps ReliableSender but replaces every 5th first transmission with

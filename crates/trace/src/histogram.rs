@@ -228,7 +228,8 @@ mod tests {
             let est = h.quantile(q) as f64;
             let mut sorted = vals.clone();
             sorted.sort_unstable();
-            let exact = sorted[((q * (sorted.len() - 1) as f64) as usize).min(sorted.len() - 1)] as f64;
+            let exact =
+                sorted[((q * (sorted.len() - 1) as f64) as usize).min(sorted.len() - 1)] as f64;
             let rel = (est - exact).abs() / exact;
             assert!(rel < 0.02, "q={q}: est={est} exact={exact} rel={rel}");
         }

@@ -42,7 +42,9 @@ pub fn percentiles_of(samples: &[f64], ps: &[f64]) -> Vec<f64> {
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-    ps.iter().map(|&p| percentile_of_sorted(&sorted, p)).collect()
+    ps.iter()
+        .map(|&p| percentile_of_sorted(&sorted, p))
+        .collect()
 }
 
 #[cfg(test)]

@@ -59,7 +59,8 @@ impl SplitMix64 {
 /// `derive_seed(s, a) != derive_seed(s, b)` for `a != b` with overwhelming
 /// probability, and nearby labels produce unrelated streams.
 pub fn derive_seed(base: u64, stream: u64) -> u64 {
-    let mut mixer = SplitMix64::new(base ^ stream.rotate_left(17).wrapping_mul(0xA24B_AED4_963E_E407));
+    let mut mixer =
+        SplitMix64::new(base ^ stream.rotate_left(17).wrapping_mul(0xA24B_AED4_963E_E407));
     // A couple of extra rounds so that low-entropy (base, stream) pairs such
     // as (0, 0) and (0, 1) still land far apart.
     mixer.next_u64();

@@ -26,7 +26,9 @@ fn loopback() -> SocketAddr {
 async fn main() {
     // --- Naive TCP proxy under load ---
     let (sink, sunk_bytes) = tcp_sink().await.expect("sink");
-    let naive = NaiveProxy::start(loopback(), sink).await.expect("naive proxy");
+    let naive = NaiveProxy::start(loopback(), sink)
+        .await
+        .expect("naive proxy");
     let tcp_stats = TcpLoadGen::scaled_default()
         .run(naive.local_addr())
         .await

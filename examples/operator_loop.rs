@@ -90,7 +90,11 @@ fn main() {
         };
         let actions = operator.end_epoch();
         let action_str = match actions.first() {
-            Some(RuntimeAction::Reroute { proxy, estimated_reduction, .. }) => {
+            Some(RuntimeAction::Reroute {
+                proxy,
+                estimated_reduction,
+                ..
+            }) => {
                 format!("reroute via {proxy} (-{:.0}%)", estimated_reduction * 100.0)
             }
             Some(RuntimeAction::PreArm { epochs, .. }) => {
@@ -102,7 +106,10 @@ fn main() {
         println!(
             "{epoch:5} | {:14} | {action_str:27} | {}",
             if bursting {
-                format!("burst #{burst_no} ({})", trace::table::fmt_bytes(BURST_BYTES))
+                format!(
+                    "burst #{burst_no} ({})",
+                    trace::table::fmt_bytes(BURST_BYTES)
+                )
             } else {
                 "quiet".to_string()
             },

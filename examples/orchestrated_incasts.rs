@@ -36,8 +36,12 @@ fn run_pair(proxy_a: HostId, proxy_b: HostId, seed: u64) -> (f64, f64) {
     let b = install_incast(&mut sim, &spec_b, Scheme::ProxyStreamlined);
     sim.run(Some(SimTime::ZERO + SimDuration::from_secs(300)));
     (
-        a.completion(sim.metrics()).expect("incast A completes").as_secs_f64(),
-        b.completion(sim.metrics()).expect("incast B completes").as_secs_f64(),
+        a.completion(sim.metrics())
+            .expect("incast A completes")
+            .as_secs_f64(),
+        b.completion(sim.metrics())
+            .expect("incast B completes")
+            .as_secs_f64(),
     )
 }
 
@@ -61,8 +65,8 @@ fn main() {
     let gb = global.select(&request(1, DEGREE)).expect("assignment");
 
     // Decentralized: power-of-two-choices with a lossy view.
-    let mut dec = DecentralizedSelector::new(candidates.clone(), 2, 42)
-        .with_conflict_probability(0.3);
+    let mut dec =
+        DecentralizedSelector::new(candidates.clone(), 2, 42).with_conflict_probability(0.3);
     let da = dec.select(&request(0, 0)).expect("assignment");
     let db = dec.select(&request(1, DEGREE)).expect("assignment");
 

@@ -12,7 +12,13 @@ use trace::table::fmt_secs;
 use trace::Table;
 
 fn main() {
-    let mut table = Table::new(vec!["scheme", "completion", "vs baseline", "rtos", "retransmits"]);
+    let mut table = Table::new(vec![
+        "scheme",
+        "completion",
+        "vs baseline",
+        "rtos",
+        "retransmits",
+    ]);
     let mut baseline_secs = None;
 
     for scheme in Scheme::ALL {

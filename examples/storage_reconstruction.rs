@@ -82,9 +82,18 @@ fn main() {
             let naive = simulate(Scheme::ProxyNaive, Some(*proxy), 3);
             let streamlined = simulate(Scheme::ProxyStreamlined, Some(*proxy), 3);
             println!();
-            println!("reconstruction latency, direct:               {}", fmt_secs(direct));
-            println!("reconstruction latency, proxy (naive):        {}", fmt_secs(naive));
-            println!("reconstruction latency, proxy (streamlined):  {}", fmt_secs(streamlined));
+            println!(
+                "reconstruction latency, direct:               {}",
+                fmt_secs(direct)
+            );
+            println!(
+                "reconstruction latency, proxy (naive):        {}",
+                fmt_secs(naive)
+            );
+            println!(
+                "reconstruction latency, proxy (streamlined):  {}",
+                fmt_secs(streamlined)
+            );
             println!(
                 "degraded-read speedup: {:.1}x (naive) / {:.1}x (streamlined)",
                 direct / naive,
@@ -93,7 +102,9 @@ fn main() {
             assert!(naive < direct && streamlined < direct);
         }
         Routing::Direct => {
-            println!("planner: no expected benefit -> direct (increase the stripe to see a reroute)");
+            println!(
+                "planner: no expected benefit -> direct (increase the stripe to see a reroute)"
+            );
         }
     }
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Everything CI runs, in the order it runs it. Fails fast.
+#
+#   scripts/check.sh            # format check + clippy + tests
+#   scripts/check.sh --offline  # same, for machines without registry access
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+for arg in "$@"; do
+  case "$arg" in
+    --offline) OFFLINE=(--offline) ;;
+    *) echo "unknown argument: $arg (only --offline is supported)" >&2; exit 2 ;;
+  esac
+done
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace "${OFFLINE[@]}" -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace "${OFFLINE[@]}" -q
+
+echo "All checks passed."

@@ -10,12 +10,7 @@ use incast_core::orchestrator::GlobalOrchestrator;
 use incast_core::runtime::{OperatorRuntime, RuntimeAction, RuntimeConfig};
 use incast_core::scheme::{install_incast, IncastSpec, Scheme, Transport};
 
-fn run(
-    scheme: Scheme,
-    bytes: u64,
-    transport: Transport,
-    seed: u64,
-) -> (f64, u64 /* rtos */) {
+fn run(scheme: Scheme, bytes: u64, transport: Transport, seed: u64) -> (f64, u64 /* rtos */) {
     let trim = TrimPolicy::SchemeDefault.enabled_for(scheme);
     let params = TwoDcParams::small_test().with_trim(trim);
     let mut sim = Simulator::new(two_dc_leaf_spine(&params), seed);
@@ -63,8 +58,8 @@ fn detecting_proxy_generates_nacks_without_trimming() {
     let mut sim = Simulator::new(two_dc_leaf_spine(&params), 2);
     let dc0 = sim.topology().hosts_in_dc(0);
     let dc1 = sim.topology().hosts_in_dc(1);
-    let spec = IncastSpec::new(dc0[..4].to_vec(), dc1[0], 30_000_000)
-        .with_proxy(*dc0.last().unwrap());
+    let spec =
+        IncastSpec::new(dc0[..4].to_vec(), dc1[0], 30_000_000).with_proxy(*dc0.last().unwrap());
     let handle = install_incast(&mut sim, &spec, Scheme::ProxyDetecting);
     sim.run(Some(SimTime::ZERO + SimDuration::from_secs(600)));
     assert!(handle.completion(sim.metrics()).is_some());
@@ -120,8 +115,8 @@ fn incast_completes_amid_background_traffic() {
         seed: 77,
     }
     .install(&mut sim);
-    let spec = IncastSpec::new(dc0[..4].to_vec(), dc1[0], 10_000_000)
-        .with_proxy(*dc0.last().unwrap());
+    let spec =
+        IncastSpec::new(dc0[..4].to_vec(), dc1[0], 10_000_000).with_proxy(*dc0.last().unwrap());
     let handle = install_incast(&mut sim, &spec, Scheme::ProxyStreamlined);
     let report = sim.run(Some(SimTime::ZERO + SimDuration::from_secs(600)));
     assert_eq!(report.stop, StopReason::Idle);
@@ -175,7 +170,10 @@ fn operator_runtime_drives_a_simulated_reroute() {
         }
         let handle = install_incast(&mut sim, &spec, scheme);
         sim.run(Some(SimTime::ZERO + SimDuration::from_secs(600)));
-        handle.completion(sim.metrics()).expect("completes").as_secs_f64()
+        handle
+            .completion(sim.metrics())
+            .expect("completes")
+            .as_secs_f64()
     };
     let direct = run_with(None, Scheme::Baseline);
     let rerouted = run_with(Some(proxy), Scheme::ProxyStreamlined);

@@ -47,7 +47,9 @@ async fn naive_proxy_preserves_content_not_just_counts() {
             });
         }
     });
-    let proxy = NaiveProxy::start(loopback(), upstream).await.expect("proxy");
+    let proxy = NaiveProxy::start(loopback(), upstream)
+        .await
+        .expect("proxy");
     let client = TcpStream::connect(proxy.local_addr()).await.unwrap();
     let pattern: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
     let (mut r, mut w) = client.into_split();
@@ -103,7 +105,10 @@ async fn streamlined_nack_loop_closes_end_to_end() {
         switch_rate_bps: 20_000_000,
         switch_buffer_bytes: 64 * 1024,
     };
-    let stats = load.run(&nack_sock, proxy.local_addr()).await.expect("load");
+    let stats = load
+        .run(&nack_sock, proxy.local_addr())
+        .await
+        .expect("load");
     let nack_seqs = nacks.await.unwrap();
 
     assert!(stats.trimmed_packets > 0, "load must induce trims");

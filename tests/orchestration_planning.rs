@@ -27,9 +27,8 @@ fn declare_plan_simulate_roundtrip() {
     let topo = full_topology();
     let dc0 = topo.hosts_in_dc(0);
     let dc1 = topo.hosts_in_dc(1);
-    let mut placement: HashMap<String, HostId> = (0..4)
-        .map(|i| (format!("w{i}"), dc0[i]))
-        .collect();
+    let mut placement: HashMap<String, HostId> =
+        (0..4).map(|i| (format!("w{i}"), dc0[i])).collect();
     placement.insert("agg".into(), dc1[0]);
     let mut orch = GlobalOrchestrator::new(dc0[4..].to_vec());
     let plans = compile(&[decl], &placement, &topo, &mut orch).expect("plannable");
@@ -72,7 +71,10 @@ fn predictor_matches_simulated_benefit_boundary() {
             IncastSpec::new(dc0[..4].to_vec(), dc1[0], bytes).with_proxy(*dc0.last().unwrap());
         let handle = install_incast(&mut sim, &spec, scheme);
         sim.run(Some(SimTime::ZERO + SimDuration::from_secs(600)));
-        handle.completion(sim.metrics()).expect("completes").as_secs_f64()
+        handle
+            .completion(sim.metrics())
+            .expect("completes")
+            .as_secs_f64()
     };
     // Overloaded case: simulated benefit agrees with prediction.
     let base = run(Scheme::Baseline, 30_000_000);

@@ -296,6 +296,44 @@ proptest! {
         let _ = &mut s;
     }
 
+    /// RTO backoff is monotone non-decreasing across consecutive timeouts
+    /// and always clamped to `max_rto`, for any interleaving of RTT samples
+    /// and expiries.
+    #[test]
+    fn rto_backoff_monotone_and_clamped(
+        ops in prop::collection::vec((prop::bool::ANY, 1u64..10_000), 1..200),
+    ) {
+        use dcsim::protocol::rto::{RtoConfig, RttEstimator};
+        use dcsim::time::SimDuration;
+        let config = RtoConfig {
+            min_rto: SimDuration::from_micros(100),
+            max_rto: SimDuration::from_millis(10),
+            initial_rto: SimDuration::from_micros(300),
+        };
+        let mut est = RttEstimator::new(config);
+        let mut last_rto: Option<SimDuration> = None;
+        // (true, us): an RTT sample arrives (resets backoff).
+        // (false, _): a timeout expires.
+        for (is_sample, us) in ops {
+            if is_sample {
+                est.sample(SimDuration::from_micros(us));
+                last_rto = None;
+            } else {
+                est.on_timeout();
+                let rto = est.rto();
+                if let Some(prev) = last_rto {
+                    prop_assert!(
+                        rto >= prev,
+                        "backoff went backwards: {prev:?} -> {rto:?}"
+                    );
+                }
+                last_rto = Some(rto);
+            }
+            prop_assert!(est.rto() <= config.max_rto, "rto above max: {:?}", est.rto());
+            prop_assert!(est.rto() > SimDuration::ZERO);
+        }
+    }
+
     /// The loss detector's sweep never reports a sequence that already
     /// arrived, for any loss/arrival interleaving.
     #[test]
@@ -323,6 +361,44 @@ proptest! {
                     loss.seq
                 );
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// An incast survives a mid-run down/up window on the receiver's
+    /// down-ToR link — the hop every flow crosses — for any flap timing:
+    /// every flow completes, which the receiver only reports once its
+    /// sequence set holds every range exactly once (duplicates are
+    /// deduplicated, losses are retransmitted; neither can fake
+    /// completion).
+    #[test]
+    fn incast_survives_receiver_link_flap(
+        seed in 0u64..1000,
+        down_us in 10u64..400,
+        outage_us in 10u64..500,
+    ) {
+        use dcsim::prelude::*;
+        use incast_core::experiment::{run_incast, ExperimentConfig, FaultScenario};
+        use incast_core::Scheme;
+        for scheme in [Scheme::Baseline, Scheme::ProxyStreamlined] {
+            let config = ExperimentConfig {
+                topo: TwoDcParams::small_test(),
+                scheme,
+                degree: 3,
+                total_bytes: 2_000_000,
+                seed,
+                faults: FaultScenario::ReceiverLinkFlap {
+                    after: SimDuration::from_micros(down_us),
+                    up_after: SimDuration::from_micros(outage_us),
+                },
+                ..Default::default()
+            };
+            // run_incast panics if any flow stalls permanently.
+            let out = run_incast(&config, seed);
+            prop_assert!(out.completion_secs > 0.0, "{scheme}: {out:?}");
         }
     }
 }
