@@ -3,8 +3,54 @@
 //! These keep the figure binaries' runtimes honest as the code evolves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcsim::events::{Event, EventQueue, TimerKind};
+use dcsim::packet::AgentId;
+use dcsim::time::SimTime;
 use dcsim::topology::TwoDcParams;
 use incast_core::{run_incast, ExperimentConfig, Scheme};
+use trace::SplitMix64;
+
+/// Schedule/pop churn with a large standing population of pending events:
+/// the steady state of a big simulation, where every pop is followed by a
+/// re-schedule further in the future. Sweeps the pending-set size from
+/// 10k to 1M to expose cache effects in the queue's layout.
+fn bench_event_queue_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_churn");
+    group.throughput(Throughput::Elements(1));
+    for pending in [10_000u64, 100_000, 1_000_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pending),
+            &pending,
+            |b, &pending| {
+                let mut q = EventQueue::with_capacity(pending as usize);
+                let mut rng = SplitMix64::new(42);
+                let mut t = 0u64;
+                for _ in 0..pending {
+                    t += rng.next_bounded(1000);
+                    q.schedule(
+                        SimTime(t),
+                        Event::Timer {
+                            agent: AgentId(0),
+                            kind: TimerKind::Rto { epoch: 0 },
+                        },
+                    );
+                }
+                b.iter(|| {
+                    let (at, _e) = q.pop().expect("non-empty");
+                    q.schedule(
+                        SimTime(at.0 + 1 + rng.next_bounded(1000)),
+                        Event::Timer {
+                            agent: AgentId(0),
+                            kind: TimerKind::Rto { epoch: 0 },
+                        },
+                    );
+                    at
+                });
+            },
+        );
+    }
+    group.finish();
+}
 
 fn bench_incast_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_incast");
@@ -48,5 +94,10 @@ fn bench_event_rate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_incast_simulation, bench_event_rate);
+criterion_group!(
+    benches,
+    bench_event_queue_churn,
+    bench_incast_simulation,
+    bench_event_rate
+);
 criterion_main!(benches);

@@ -76,18 +76,29 @@ fn main() {
         &[0, 64, 256, 512]
     };
 
+    // Every (level × scheme × repetition) simulation is independent; fan
+    // them all out through the sweep runner and aggregate in grid order.
+    let cells: Vec<(usize, Scheme)> = levels
+        .iter()
+        .flat_map(|&flows| Scheme::ALL.into_iter().map(move |scheme| (flows, scheme)))
+        .collect();
+    let sampled = opts
+        .sweep_runner()
+        .run_repeated(&cells, opts.runs, |&(flows, scheme), r| {
+            run_with_background(scheme, flows, derive_seed(opts.seed, r as u64))
+        });
+
     let mut table = Table::new(vec![
         "background flows",
         "scheme",
         "ICT mean",
         "vs baseline",
     ]);
+    let mut sampled = sampled.into_iter();
     for &flows in levels {
         let mut baseline_mean = None;
         for scheme in Scheme::ALL {
-            let samples: Vec<f64> = (0..opts.runs)
-                .map(|r| run_with_background(scheme, flows, derive_seed(opts.seed, r as u64)))
-                .collect();
+            let samples = sampled.next().expect("one sample set per cell");
             let summary = Summary::of(&samples);
             let reduction = match baseline_mean {
                 None => {

@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --release -p bench --bin ablation_cc_response [--quick]`
 
-use bench::{banner, emit_json, RunOptions};
+use bench::{banner, emit_json, sweep_experiments, RunOptions};
 use dcsim::protocol::dctcp::EcnResponse;
-use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use incast_core::{ExperimentConfig, Scheme};
 use serde::Serialize;
 use trace::table::fmt_secs;
 use trace::Table;
@@ -30,38 +30,49 @@ fn main() {
         "DCTCP alpha-proportional cuts vs halve-per-round (degree 8, 100 MB)",
     );
 
-    let mut table = Table::new(vec!["ECN response", "scheme", "ICT mean"]);
-    for (label, response) in [
+    let responses = [
         (
             "DCTCP alpha (g=1/16)",
             EcnResponse::DctcpAlpha { g: 1.0 / 16.0 },
         ),
         ("halve per round", EcnResponse::HalvePerRound),
-    ] {
-        for scheme in Scheme::ALL {
-            let config = ExperimentConfig {
-                scheme,
-                degree: 8,
-                total_bytes: 100_000_000,
-                ecn_response: response,
-                seed: opts.seed,
-                ..Default::default()
-            };
-            let (summary, _) = run_repeated(&config, opts.runs);
-            table.row(vec![
-                label.to_string(),
-                scheme.label().to_string(),
-                fmt_secs(summary.mean),
-            ]);
-            emit_json(
-                "ablation_cc_response",
-                &Point {
-                    response: label.to_string(),
-                    scheme: scheme.label().to_string(),
-                    mean_secs: summary.mean,
-                },
-            );
-        }
+    ];
+    let cells: Vec<(&str, EcnResponse, Scheme)> = responses
+        .iter()
+        .flat_map(|&(label, response)| {
+            Scheme::ALL
+                .into_iter()
+                .map(move |scheme| (label, response, scheme))
+        })
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(_, response, scheme)| ExperimentConfig {
+            scheme,
+            degree: 8,
+            total_bytes: 100_000_000,
+            ecn_response: response,
+            seed: opts.seed,
+            ..Default::default()
+        })
+        .collect();
+    let results = sweep_experiments(&opts.sweep_runner(), &configs, opts.runs);
+
+    let mut table = Table::new(vec!["ECN response", "scheme", "ICT mean"]);
+    for (&(label, _, scheme), (summary, _)) in cells.iter().zip(&results) {
+        table.row(vec![
+            label.to_string(),
+            scheme.label().to_string(),
+            fmt_secs(summary.mean),
+        ]);
+        emit_json(
+            "ablation_cc_response",
+            &Point {
+                response: label.to_string(),
+                scheme: scheme.label().to_string(),
+                mean_secs: summary.mean,
+            },
+        );
     }
     print!("{}", table.render());
     println!();

@@ -12,10 +12,10 @@
 //!
 //! Run with: `cargo run --release -p bench --bin ablation_detector_proxy [--quick]`
 
-use bench::{banner, emit_json, RunOptions};
+use bench::{banner, emit_json, sweep_experiments, RunOptions};
 use dcsim::prelude::*;
 use incast_core::lossdetect::LossDetectorConfig;
-use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use incast_core::{ExperimentConfig, Scheme};
 use serde::Serialize;
 use trace::table::fmt_secs;
 use trace::Table;
@@ -26,6 +26,10 @@ struct Point {
     variant: String,
     mean_secs: f64,
 }
+
+/// One table row per jitter level: display label, scheme, and (for the
+/// detecting proxy) its detector configuration.
+type Variant = (String, Scheme, Option<LossDetectorConfig>);
 
 fn main() {
     let opts = RunOptions::from_args();
@@ -40,24 +44,59 @@ fn main() {
     };
     let thresholds: &[u32] = if opts.quick { &[8] } else { &[3, 8, 32] };
 
-    let mut table = Table::new(vec!["path jitter", "variant", "ICT mean", "vs trimming"]);
-    for &jitter in jitters {
-        let topo = TwoDcParams::default().with_path_jitter(jitter, opts.seed);
-        let mut reference = None;
+    // Per jitter level: the trimming reference, the detector at each
+    // reorder threshold, then the baseline. Flatten into one grid so all
+    // cells simulate in parallel; the "vs trimming" column only needs the
+    // first result of each jitter group, available once the sweep is done.
+    let mut variants: Vec<Variant> = Vec::new();
+    variants.push((
+        "streamlined (trimming)".into(),
+        Scheme::ProxyStreamlined,
+        None,
+    ));
+    for &threshold in thresholds {
+        variants.push((
+            format!("detecting (no trim, thresh={threshold})"),
+            Scheme::ProxyDetecting,
+            Some(LossDetectorConfig {
+                reorder_threshold: threshold,
+                max_pending: 4096,
+                ..Default::default()
+            }),
+        ));
+    }
+    variants.push(("baseline (no proxy)".into(), Scheme::Baseline, None));
 
-        let mut run = |variant: String, scheme: Scheme, detector: Option<LossDetectorConfig>| {
+    let cells: Vec<(f64, &Variant)> = jitters
+        .iter()
+        .flat_map(|&jitter| variants.iter().map(move |v| (jitter, v)))
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(jitter, &(_, scheme, detector))| {
             let mut config = ExperimentConfig {
                 scheme,
                 degree: 8,
                 total_bytes: 100_000_000,
-                topo,
+                topo: TwoDcParams::default().with_path_jitter(jitter, opts.seed),
                 seed: opts.seed,
                 ..Default::default()
             };
             if let Some(d) = detector {
                 config.detector = d;
             }
-            let (summary, _) = run_repeated(&config, opts.runs);
+            config
+        })
+        .collect();
+    let results = sweep_experiments(&opts.sweep_runner(), &configs, opts.runs);
+
+    let mut table = Table::new(vec!["path jitter", "variant", "ICT mean", "vs trimming"]);
+    let mut results_it = cells.iter().zip(&results);
+    for &jitter in jitters {
+        let mut reference = None;
+        for _ in &variants {
+            let (&(_, (variant, _, _)), (summary, _)) =
+                results_it.next().expect("one result per cell");
             let rel = match reference {
                 None => {
                     reference = Some(summary.mean);
@@ -75,29 +114,11 @@ fn main() {
                 "ablation_detector_proxy",
                 &Point {
                     jitter,
-                    variant,
+                    variant: variant.clone(),
                     mean_secs: summary.mean,
                 },
             );
-        };
-
-        run(
-            "streamlined (trimming)".into(),
-            Scheme::ProxyStreamlined,
-            None,
-        );
-        for &threshold in thresholds {
-            run(
-                format!("detecting (no trim, thresh={threshold})"),
-                Scheme::ProxyDetecting,
-                Some(LossDetectorConfig {
-                    reorder_threshold: threshold,
-                    max_pending: 4096,
-                    ..Default::default()
-                }),
-            );
         }
-        run("baseline (no proxy)".into(), Scheme::Baseline, None);
     }
     print!("{}", table.render());
     println!();

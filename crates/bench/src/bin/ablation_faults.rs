@@ -10,10 +10,10 @@
 //!
 //! Run with: `cargo run --release -p bench --bin ablation_faults [--quick]`
 
-use bench::{banner, emit_json, RunOptions};
+use bench::{banner, emit_json, sweep_experiments, RunOptions};
 use dcsim::prelude::*;
 use incast_core::experiment::FaultScenario;
-use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use incast_core::{ExperimentConfig, Scheme};
 use serde::Serialize;
 use trace::table::fmt_secs;
 use trace::Table;
@@ -58,6 +58,32 @@ fn main() {
         Scheme::Baseline,
     ];
 
+    // Two sweep phases: the crash times depend on each scheme's fault-free
+    // mean, so the healthy runs must finish before the fault grid exists.
+    // Within each phase every cell is independent and runs in parallel.
+    let runner = opts.sweep_runner();
+    let healthy_configs: Vec<ExperimentConfig> = schemes
+        .iter()
+        .map(|&scheme| config_for(scheme, degree, opts.seed))
+        .collect();
+    let healthy_results = sweep_experiments(&runner, &healthy_configs, opts.runs);
+
+    let fault_cells: Vec<(usize, f64)> = (0..schemes.len())
+        .flat_map(|s| fractions.iter().map(move |&frac| (s, frac)))
+        .collect();
+    let fault_configs: Vec<ExperimentConfig> = fault_cells
+        .iter()
+        .map(|&(s, frac)| {
+            let mut config = config_for(schemes[s], degree, opts.seed);
+            config.faults = FaultScenario::ProxyCrash {
+                after: SimDuration::from_secs_f64(frac * healthy_results[s].0.mean),
+                restore_after: None,
+            };
+            config
+        })
+        .collect();
+    let fault_results = sweep_experiments(&runner, &fault_configs, opts.runs);
+
     let mut table = Table::new(vec![
         "scheme",
         "crash at",
@@ -67,9 +93,9 @@ fn main() {
         "lost pkts",
         "max failover lat",
     ]);
-    for scheme in schemes {
-        let config = config_for(scheme, degree, opts.seed);
-        let (healthy, _) = run_repeated(&config, opts.runs);
+    let mut fault_it = fault_cells.iter().zip(&fault_results);
+    for (s, scheme) in schemes.into_iter().enumerate() {
+        let (healthy, _) = &healthy_results[s];
         table.row(vec![
             scheme.to_string(),
             "never".to_string(),
@@ -91,13 +117,9 @@ fn main() {
                 failover_latency_max_secs: 0.0,
             },
         );
-        for &frac in fractions {
-            let mut config = config_for(scheme, degree, opts.seed);
-            config.faults = FaultScenario::ProxyCrash {
-                after: SimDuration::from_secs_f64(frac * healthy.mean),
-                restore_after: None,
-            };
-            let (summary, outcomes) = run_repeated(&config, opts.runs);
+        for _ in fractions {
+            let (&(_, frac), (summary, outcomes)) =
+                fault_it.next().expect("one result per fault cell");
             let failovers: u64 = outcomes.iter().map(|o| o.failover_activations).sum();
             let lost: u64 = outcomes.iter().map(|o| o.packets_lost_to_fault).sum();
             let max_lat = outcomes

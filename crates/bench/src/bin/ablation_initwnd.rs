@@ -12,8 +12,8 @@
 //!
 //! Run with: `cargo run --release -p bench --bin ablation_initwnd [--quick]`
 
-use bench::{banner, emit_json, RunOptions};
-use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use bench::{banner, emit_json, sweep_experiments, RunOptions};
+use incast_core::{ExperimentConfig, Scheme};
 use serde::Serialize;
 use trace::table::fmt_secs;
 use trace::Table;
@@ -37,32 +37,42 @@ fn main() {
         &[0.01, 0.05, 0.25, 1.0, 2.0]
     };
 
+    let cells: Vec<(f64, Scheme)> = scales
+        .iter()
+        .flat_map(|&iw_scale| {
+            [Scheme::Baseline, Scheme::ProxyStreamlined]
+                .into_iter()
+                .map(move |scheme| (iw_scale, scheme))
+        })
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(iw_scale, scheme)| ExperimentConfig {
+            scheme,
+            degree: 8,
+            total_bytes: 100_000_000,
+            iw_scale,
+            seed: opts.seed,
+            ..Default::default()
+        })
+        .collect();
+    let results = sweep_experiments(&opts.sweep_runner(), &configs, opts.runs);
+
     let mut table = Table::new(vec!["IW scale", "scheme", "ICT mean"]);
-    for &iw_scale in scales {
-        for scheme in [Scheme::Baseline, Scheme::ProxyStreamlined] {
-            let config = ExperimentConfig {
-                scheme,
-                degree: 8,
-                total_bytes: 100_000_000,
+    for (&(iw_scale, scheme), (summary, _)) in cells.iter().zip(&results) {
+        table.row(vec![
+            format!("{iw_scale} BDP"),
+            scheme.label().to_string(),
+            fmt_secs(summary.mean),
+        ]);
+        emit_json(
+            "ablation_initwnd",
+            &Point {
                 iw_scale,
-                seed: opts.seed,
-                ..Default::default()
-            };
-            let (summary, _) = run_repeated(&config, opts.runs);
-            table.row(vec![
-                format!("{iw_scale} BDP"),
-                scheme.label().to_string(),
-                fmt_secs(summary.mean),
-            ]);
-            emit_json(
-                "ablation_initwnd",
-                &Point {
-                    iw_scale,
-                    scheme: scheme.label().to_string(),
-                    mean_secs: summary.mean,
-                },
-            );
-        }
+                scheme: scheme.label().to_string(),
+                mean_secs: summary.mean,
+            },
+        );
     }
     print!("{}", table.render());
     println!();

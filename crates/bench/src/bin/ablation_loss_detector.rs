@@ -63,19 +63,15 @@ fn main() {
     let depths: &[usize] = if opts.quick { &[4] } else { &[0, 2, 4, 8, 16] };
     let thresholds: &[u32] = &[1, 3, 8, 16, 32];
 
-    let mut table = Table::new(vec![
-        "reorder depth",
-        "threshold",
-        "recall",
-        "FP rate",
-        "declared",
-    ]);
-    for &depth in depths {
-        for &threshold in thresholds {
-            let mut recall_sum = 0.0;
-            let mut fp_sum = 0.0;
-            let mut declared_sum = 0u64;
-            for run in 0..opts.runs {
+    // The synthetic streams are pure CPU work, one per (depth, threshold,
+    // repetition) — fan them all out through the sweep runner too.
+    let cells: Vec<(usize, u32)> = depths
+        .iter()
+        .flat_map(|&depth| thresholds.iter().map(move |&t| (depth, t)))
+        .collect();
+    let measured =
+        opts.sweep_runner()
+            .run_repeated(&cells, opts.runs, |&(depth, threshold), run| {
                 let (arrival, lost) =
                     synth_stream(n, depth, loss, derive_seed(opts.seed, run as u64));
                 // Watchdog off: this study isolates first-declaration
@@ -93,29 +89,42 @@ fn main() {
                 }
                 let true_hits = declared.iter().filter(|s| lost.contains(s)).count();
                 let false_hits = declared.len() - true_hits;
-                recall_sum += true_hits as f64 / lost.len().max(1) as f64;
-                fp_sum += false_hits as f64 / declared.len().max(1) as f64;
-                declared_sum += declared.len() as u64;
-            }
-            let recall = recall_sum / opts.runs as f64;
-            let fp = fp_sum / opts.runs as f64;
-            table.row(vec![
-                depth.to_string(),
-                threshold.to_string(),
-                format!("{:.1}%", recall * 100.0),
-                format!("{:.1}%", fp * 100.0),
-                (declared_sum / opts.runs as u64).to_string(),
-            ]);
-            emit_json(
-                "ablation_loss_detector",
-                &Point {
-                    reorder_depth: depth,
-                    threshold,
-                    recall,
-                    false_positive_rate: fp,
-                },
-            );
-        }
+                (
+                    true_hits as f64 / lost.len().max(1) as f64,
+                    false_hits as f64 / declared.len().max(1) as f64,
+                    declared.len() as u64,
+                )
+            });
+
+    let mut table = Table::new(vec![
+        "reorder depth",
+        "threshold",
+        "recall",
+        "FP rate",
+        "declared",
+    ]);
+    for (&(depth, threshold), runs) in cells.iter().zip(&measured) {
+        let recall_sum: f64 = runs.iter().map(|&(r, _, _)| r).sum();
+        let fp_sum: f64 = runs.iter().map(|&(_, f, _)| f).sum();
+        let declared_sum: u64 = runs.iter().map(|&(_, _, d)| d).sum();
+        let recall = recall_sum / opts.runs as f64;
+        let fp = fp_sum / opts.runs as f64;
+        table.row(vec![
+            depth.to_string(),
+            threshold.to_string(),
+            format!("{:.1}%", recall * 100.0),
+            format!("{:.1}%", fp * 100.0),
+            (declared_sum / opts.runs as u64).to_string(),
+        ]);
+        emit_json(
+            "ablation_loss_detector",
+            &Point {
+                reorder_depth: depth,
+                threshold,
+                recall,
+                false_positive_rate: fp,
+            },
+        );
     }
     print!("{}", table.render());
     println!();

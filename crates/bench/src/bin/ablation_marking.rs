@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --release -p bench --bin ablation_marking [--quick]`
 
-use bench::{banner, emit_json, RunOptions};
+use bench::{banner, emit_json, sweep_experiments, RunOptions};
 use dcsim::prelude::*;
-use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use incast_core::{ExperimentConfig, Scheme};
 use serde::Serialize;
 use trace::table::fmt_secs;
 use trace::Table;
@@ -35,35 +35,43 @@ fn main() {
         &[0.25, 1.0, 4.0, 16.0, 64.0]
     };
 
-    let mut table = Table::new(vec!["threshold scale", "scheme", "ICT mean"]);
-    for &scale in scales {
-        for scheme in Scheme::ALL {
+    let cells: Vec<(f64, Scheme)> = scales
+        .iter()
+        .flat_map(|&scale| Scheme::ALL.into_iter().map(move |scheme| (scale, scheme)))
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(scale, scheme)| {
             let mut topo = TwoDcParams::default();
             topo.dc_queue.mark_low_bytes = (33_200.0 * scale) as u64;
             topo.dc_queue.mark_high_bytes = (136_950.0 * scale) as u64;
-            let config = ExperimentConfig {
+            ExperimentConfig {
                 scheme,
                 degree: 8,
                 total_bytes: 100_000_000,
                 topo,
                 seed: opts.seed,
                 ..Default::default()
-            };
-            let (summary, _) = run_repeated(&config, opts.runs);
-            table.row(vec![
-                format!("{scale}x"),
-                scheme.label().to_string(),
-                fmt_secs(summary.mean),
-            ]);
-            emit_json(
-                "ablation_marking",
-                &Point {
-                    threshold_scale: scale,
-                    scheme: scheme.label().to_string(),
-                    mean_secs: summary.mean,
-                },
-            );
-        }
+            }
+        })
+        .collect();
+    let results = sweep_experiments(&opts.sweep_runner(), &configs, opts.runs);
+
+    let mut table = Table::new(vec!["threshold scale", "scheme", "ICT mean"]);
+    for (&(scale, scheme), (summary, _)) in cells.iter().zip(&results) {
+        table.row(vec![
+            format!("{scale}x"),
+            scheme.label().to_string(),
+            fmt_secs(summary.mean),
+        ]);
+        emit_json(
+            "ablation_marking",
+            &Point {
+                threshold_scale: scale,
+                scheme: scheme.label().to_string(),
+                mean_secs: summary.mean,
+            },
+        );
     }
     print!("{}", table.render());
     println!();

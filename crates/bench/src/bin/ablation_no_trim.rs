@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --release -p bench --bin ablation_no_trim [--quick]`
 
-use bench::{banner, emit_json, RunOptions};
+use bench::{banner, emit_json, sweep_experiments, RunOptions};
 use incast_core::experiment::TrimPolicy;
-use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use incast_core::{ExperimentConfig, Scheme};
 use serde::Serialize;
 use trace::table::fmt_secs;
 use trace::Table;
@@ -31,22 +31,38 @@ fn main() {
     );
     let degrees: &[usize] = if opts.quick { &[8] } else { &[4, 8, 16, 32] };
 
+    let variants = [
+        ("streamlined + trimming", TrimPolicy::SchemeDefault),
+        ("streamlined + drop-tail", TrimPolicy::ForceOff),
+    ];
+    let cells: Vec<(usize, &str, TrimPolicy)> = degrees
+        .iter()
+        .flat_map(|&degree| {
+            variants
+                .iter()
+                .map(move |&(variant, trim)| (degree, variant, trim))
+        })
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(degree, _, trim)| ExperimentConfig {
+            scheme: Scheme::ProxyStreamlined,
+            degree,
+            total_bytes: 100_000_000,
+            trim,
+            seed: opts.seed,
+            ..Default::default()
+        })
+        .collect();
+    let results = sweep_experiments(&opts.sweep_runner(), &configs, opts.runs);
+
     let mut table = Table::new(vec!["degree", "variant", "ICT mean", "slowdown"]);
-    for &degree in degrees {
+    let mut results_it = cells.iter().zip(&results);
+    for _ in degrees {
         let mut trim_mean = None;
-        for (variant, trim) in [
-            ("streamlined + trimming", TrimPolicy::SchemeDefault),
-            ("streamlined + drop-tail", TrimPolicy::ForceOff),
-        ] {
-            let config = ExperimentConfig {
-                scheme: Scheme::ProxyStreamlined,
-                degree,
-                total_bytes: 100_000_000,
-                trim,
-                seed: opts.seed,
-                ..Default::default()
-            };
-            let (summary, _) = run_repeated(&config, opts.runs);
+        for _ in &variants {
+            let (&(degree, variant, _), (summary, _)) =
+                results_it.next().expect("one result per cell");
             let slowdown = match trim_mean {
                 None => {
                     trim_mean = Some(summary.mean);

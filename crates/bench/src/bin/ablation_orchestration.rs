@@ -78,13 +78,26 @@ fn main() {
     let topo = two_dc_leaf_spine(&TwoDcParams::default());
     let dc0 = topo.hosts_in_dc(0);
     let counts: &[usize] = if opts.quick { &[2] } else { &[2, 3, 4] };
+    // Both placements of every contention level simulate in parallel.
+    let cells: Vec<Vec<HostId>> = counts
+        .iter()
+        .flat_map(|&n| {
+            let pool_start = n * DEGREE; // hosts beyond the senders
+            [
+                vec![dc0[pool_start]; n],
+                (0..n).map(|i| dc0[pool_start + i]).collect(),
+            ]
+        })
+        .collect();
+    let worsts = opts
+        .sweep_runner()
+        .run(&cells, |proxies| run_concurrent(proxies, opts.seed));
+
     let mut table = Table::new(vec!["concurrent", "placement", "worst ICT", "penalty"]);
+    let mut worsts = worsts.into_iter();
     for &n in counts {
-        let pool_start = n * DEGREE; // hosts beyond the senders
-        let shared = vec![dc0[pool_start]; n];
-        let distinct: Vec<HostId> = (0..n).map(|i| dc0[pool_start + i]).collect();
-        let worst_shared = run_concurrent(&shared, opts.seed);
-        let worst_distinct = run_concurrent(&distinct, opts.seed);
+        let worst_shared = worsts.next().expect("one result per cell");
+        let worst_distinct = worsts.next().expect("one result per cell");
         table.row(vec![
             n.to_string(),
             "one shared proxy".to_string(),

@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release -p bench --bin ablation_relay_only [--quick]`
 
-use bench::{banner, emit_json, RunOptions};
-use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use bench::{banner, emit_json, sweep_experiments, RunOptions};
+use incast_core::{ExperimentConfig, Scheme};
 use serde::Serialize;
 use trace::table::fmt_secs;
 use trace::Table;
@@ -31,23 +31,39 @@ fn main() {
     );
     let degrees: &[usize] = if opts.quick { &[8] } else { &[4, 8, 16, 32] };
 
+    let variants = [
+        ("proxy, early NACKs", Scheme::ProxyStreamlined, true),
+        ("proxy, relay-only", Scheme::ProxyStreamlined, false),
+        ("no proxy (baseline)", Scheme::Baseline, true),
+    ];
+    let cells: Vec<(usize, &str, Scheme, bool)> = degrees
+        .iter()
+        .flat_map(|&degree| {
+            variants
+                .iter()
+                .map(move |&(variant, scheme, early_nack)| (degree, variant, scheme, early_nack))
+        })
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(degree, _, scheme, early_nack)| ExperimentConfig {
+            scheme,
+            degree,
+            total_bytes: 100_000_000,
+            early_nack,
+            seed: opts.seed,
+            ..Default::default()
+        })
+        .collect();
+    let results = sweep_experiments(&opts.sweep_runner(), &configs, opts.runs);
+
     let mut table = Table::new(vec!["degree", "variant", "ICT mean", "vs early-NACK"]);
-    for &degree in degrees {
+    let mut results_it = cells.iter().zip(&results);
+    for _ in degrees {
         let mut early_mean = None;
-        for (variant, scheme, early_nack) in [
-            ("proxy, early NACKs", Scheme::ProxyStreamlined, true),
-            ("proxy, relay-only", Scheme::ProxyStreamlined, false),
-            ("no proxy (baseline)", Scheme::Baseline, true),
-        ] {
-            let config = ExperimentConfig {
-                scheme,
-                degree,
-                total_bytes: 100_000_000,
-                early_nack,
-                seed: opts.seed,
-                ..Default::default()
-            };
-            let (summary, _) = run_repeated(&config, opts.runs);
+        for _ in &variants {
+            let (&(degree, variant, _, _), (summary, _)) =
+                results_it.next().expect("one result per cell");
             let slowdown = match early_mean {
                 None => {
                     early_mean = Some(summary.mean);

@@ -12,9 +12,9 @@
 //!
 //! Run with: `cargo run --release -p bench --bin ablation_transport [--quick]`
 
-use bench::{banner, emit_json, RunOptions};
+use bench::{banner, emit_json, sweep_experiments, RunOptions};
 use incast_core::scheme::Transport;
-use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use incast_core::{ExperimentConfig, Scheme};
 use serde::Serialize;
 use trace::table::fmt_secs;
 use trace::Table;
@@ -38,38 +38,48 @@ fn main() {
         &Scheme::EXTENDED
     };
 
-    let mut table = Table::new(vec!["transport", "scheme", "ICT mean", "rtos/run"]);
-    for (label, transport) in [
+    let transports = [
         ("windowed (DCTCP-like)", Transport::WindowedDctcp),
         ("rate-based (BBR-lite)", Transport::RateBased),
-    ] {
-        for &scheme in schemes {
-            let config = ExperimentConfig {
-                scheme,
-                degree: 8,
-                total_bytes: 100_000_000,
-                transport,
-                seed: opts.seed,
-                ..Default::default()
-            };
-            let (summary, outcomes) = run_repeated(&config, opts.runs);
-            let rtos: u64 =
-                outcomes.iter().map(|o| o.rto_fires).sum::<u64>() / outcomes.len() as u64;
-            table.row(vec![
-                label.to_string(),
-                scheme.label().to_string(),
-                fmt_secs(summary.mean),
-                rtos.to_string(),
-            ]);
-            emit_json(
-                "ablation_transport",
-                &Point {
-                    transport: label.to_string(),
-                    scheme: scheme.label().to_string(),
-                    mean_secs: summary.mean,
-                },
-            );
-        }
+    ];
+    let cells: Vec<(&str, Transport, Scheme)> = transports
+        .iter()
+        .flat_map(|&(label, transport)| {
+            schemes
+                .iter()
+                .map(move |&scheme| (label, transport, scheme))
+        })
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(_, transport, scheme)| ExperimentConfig {
+            scheme,
+            degree: 8,
+            total_bytes: 100_000_000,
+            transport,
+            seed: opts.seed,
+            ..Default::default()
+        })
+        .collect();
+    let results = sweep_experiments(&opts.sweep_runner(), &configs, opts.runs);
+
+    let mut table = Table::new(vec!["transport", "scheme", "ICT mean", "rtos/run"]);
+    for (&(label, _, scheme), (summary, outcomes)) in cells.iter().zip(&results) {
+        let rtos: u64 = outcomes.iter().map(|o| o.rto_fires).sum::<u64>() / outcomes.len() as u64;
+        table.row(vec![
+            label.to_string(),
+            scheme.label().to_string(),
+            fmt_secs(summary.mean),
+            rtos.to_string(),
+        ]);
+        emit_json(
+            "ablation_transport",
+            &Point {
+                transport: label.to_string(),
+                scheme: scheme.label().to_string(),
+                mean_secs: summary.mean,
+            },
+        );
     }
     print!("{}", table.render());
     println!();

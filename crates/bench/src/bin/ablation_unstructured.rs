@@ -91,10 +91,12 @@ fn main() {
         ));
     }
 
-    for (label, scheme, threshold) in cases {
-        let samples: Vec<f64> = (0..opts.runs)
-            .map(|r| run(scheme, threshold, derive_seed(opts.seed, r as u64)))
-            .collect();
+    let sampled =
+        opts.sweep_runner()
+            .run_repeated(&cases, opts.runs, |&(_, scheme, threshold), r| {
+                run(scheme, threshold, derive_seed(opts.seed, r as u64))
+            });
+    for ((label, _, threshold), samples) in cases.into_iter().zip(sampled) {
         let summary = Summary::of(&samples);
         table.row(vec![
             label.clone(),

@@ -92,14 +92,14 @@ fn main() {
         "slowdown vs solo",
         "incast ICT",
     ]);
-    for scheme in Scheme::ALL {
-        let mut fcts = Vec::new();
-        let mut icts = Vec::new();
-        for r in 0..opts.runs {
-            let (fct, ict) = run(scheme, true, derive_seed(opts.seed, r as u64));
-            fcts.push(fct);
-            icts.push(ict);
-        }
+    let sampled = opts
+        .sweep_runner()
+        .run_repeated(&Scheme::ALL, opts.runs, |&scheme, r| {
+            run(scheme, true, derive_seed(opts.seed, r as u64))
+        });
+    for (scheme, outcomes) in Scheme::ALL.into_iter().zip(sampled) {
+        let fcts: Vec<f64> = outcomes.iter().map(|&(fct, _)| fct).collect();
+        let icts: Vec<f64> = outcomes.iter().map(|&(_, ict)| ict).collect();
         let fct = Summary::of(&fcts);
         let ict = Summary::of(&icts);
         table.row(vec![

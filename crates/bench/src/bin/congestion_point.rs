@@ -35,8 +35,9 @@ fn main() {
         "queue occupancy at the receiver vs proxy down-ToR (degree 8, 100 MB)",
     );
 
-    let mut table = Table::new(vec!["scheme", "queue", "max occupancy", "mean occupancy"]);
-    for scheme in Scheme::ALL {
+    // One traced simulation per scheme, all independent: fan them out and
+    // collect each scheme's two (queue name, max, mean) rows.
+    let results = opts.sweep_runner().run(&Scheme::ALL, |&scheme| {
         let config = ExperimentConfig {
             scheme,
             degree: 8,
@@ -62,13 +63,23 @@ fn main() {
             "congestion-point sweep",
         );
         let end = handle.completion(sim.metrics()).expect("completes");
-        for (name, port) in [("receiver down-ToR", rx_port), ("proxy down-ToR", px_port)] {
+        [("receiver down-ToR", rx_port), ("proxy down-ToR", px_port)].map(|(name, port)| {
+            // The sim keeps running (stray timers, trailing control
+            // packets) after the incast completes; the occupancy stats
+            // cover the incast itself, so clip the trace at `end`.
             let samples: Vec<(u64, u64)> = sim
                 .port_trace(port)
                 .iter()
                 .map(|&(t, b)| (t.0, b))
+                .take_while(|&(t, _)| t <= end.0)
                 .collect();
-            let (max, mean) = (step_max(&samples), step_mean(&samples, end.0) as u64);
+            (name, step_max(&samples), step_mean(&samples, end.0) as u64)
+        })
+    });
+
+    let mut table = Table::new(vec!["scheme", "queue", "max occupancy", "mean occupancy"]);
+    for (scheme, rows) in Scheme::ALL.into_iter().zip(results) {
+        for (name, max, mean) in rows {
             table.row(vec![
                 scheme.label().to_string(),
                 name.to_string(),

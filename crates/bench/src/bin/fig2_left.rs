@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release -p bench --bin fig2_left [--quick]`
 
-use bench::{banner, emit_json, RunOptions};
-use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use bench::{banner, emit_json, sweep_experiments, RunOptions};
+use incast_core::{ExperimentConfig, Scheme};
 use serde::Serialize;
 use trace::table::fmt_secs;
 use trace::Table;
@@ -35,6 +35,24 @@ fn main() {
         &[2, 4, 8, 16, 32, 63]
     };
 
+    // Simulate the whole (degree × scheme) grid in parallel, then walk
+    // the results in grid order to build the report.
+    let cells: Vec<(usize, Scheme)> = degrees
+        .iter()
+        .flat_map(|&degree| Scheme::ALL.into_iter().map(move |scheme| (degree, scheme)))
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(degree, scheme)| ExperimentConfig {
+            scheme,
+            degree,
+            total_bytes: 100_000_000,
+            seed: opts.seed,
+            ..Default::default()
+        })
+        .collect();
+    let results = sweep_experiments(&opts.sweep_runner(), &configs, opts.runs);
+
     let mut table = Table::new(vec![
         "degree",
         "scheme",
@@ -46,17 +64,11 @@ fn main() {
     let mut naive_reductions = Vec::new();
     let mut streamlined_reductions = Vec::new();
 
+    let mut results = results.iter();
     for &degree in degrees {
         let mut baseline_mean = None;
         for scheme in Scheme::ALL {
-            let config = ExperimentConfig {
-                scheme,
-                degree,
-                total_bytes: 100_000_000,
-                seed: opts.seed,
-                ..Default::default()
-            };
-            let (summary, _) = run_repeated(&config, opts.runs);
+            let (summary, _) = results.next().expect("one result per cell");
             let reduction = match baseline_mean {
                 None => {
                     baseline_mean = Some(summary.mean);

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release -p bench --bin fig2_right [--quick]`
 
-use bench::{banner, emit_json, RunOptions};
-use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use bench::{banner, emit_json, sweep_experiments, RunOptions};
+use incast_core::{ExperimentConfig, Scheme};
 use serde::Serialize;
 use trace::table::{fmt_bytes, fmt_secs};
 use trace::Table;
@@ -36,6 +36,24 @@ fn main() {
         &[20, 40, 60, 100, 150, 200]
     };
 
+    // Simulate the whole (size × scheme) grid in parallel, then walk the
+    // results in grid order to build the report.
+    let cells: Vec<(u64, Scheme)> = sizes_mb
+        .iter()
+        .flat_map(|&mb| Scheme::ALL.into_iter().map(move |scheme| (mb, scheme)))
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(mb, scheme)| ExperimentConfig {
+            scheme,
+            degree: 4,
+            total_bytes: mb * 1_000_000,
+            seed: opts.seed,
+            ..Default::default()
+        })
+        .collect();
+    let results = sweep_experiments(&opts.sweep_runner(), &configs, opts.runs);
+
     let mut table = Table::new(vec![
         "size",
         "scheme",
@@ -47,17 +65,11 @@ fn main() {
     let mut naive_reductions = Vec::new();
     let mut streamlined_reductions = Vec::new();
 
+    let mut results = results.iter();
     for &mb in sizes_mb {
         let mut baseline_mean = None;
         for scheme in Scheme::ALL {
-            let config = ExperimentConfig {
-                scheme,
-                degree: 4,
-                total_bytes: mb * 1_000_000,
-                seed: opts.seed,
-                ..Default::default()
-            };
-            let (summary, _) = run_repeated(&config, opts.runs);
+            let (summary, _) = results.next().expect("one result per cell");
             let reduction = match baseline_mean {
                 None => {
                     baseline_mean = Some(summary.mean);

@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release -p bench --bin fig3 [--quick]`
 
-use bench::{banner, emit_json, RunOptions};
+use bench::{banner, emit_json, sweep_experiments, RunOptions};
 use dcsim::prelude::*;
-use incast_core::{run_repeated, ExperimentConfig, Scheme};
+use incast_core::{ExperimentConfig, Scheme};
 use serde::Serialize;
 use trace::table::fmt_secs;
 use trace::Table;
@@ -37,6 +37,25 @@ fn main() {
         &[1, 10, 100, 1_000, 10_000, 100_000]
     };
 
+    // Simulate the whole (latency × scheme) grid in parallel, then walk
+    // the results in grid order to build the report.
+    let cells: Vec<(u64, Scheme)> = latencies_us
+        .iter()
+        .flat_map(|&us| Scheme::ALL.into_iter().map(move |scheme| (us, scheme)))
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(us, scheme)| ExperimentConfig {
+            scheme,
+            degree: 4,
+            total_bytes: 100_000_000,
+            topo: TwoDcParams::default().with_wan_latency(SimDuration::from_micros(us)),
+            seed: opts.seed,
+            ..Default::default()
+        })
+        .collect();
+    let results = sweep_experiments(&opts.sweep_runner(), &configs, opts.runs);
+
     let mut table = Table::new(vec![
         "link latency",
         "scheme",
@@ -46,18 +65,11 @@ fn main() {
         "vs baseline",
     ]);
 
+    let mut results = results.iter();
     for &us in latencies_us {
         let mut baseline_mean = None;
         for scheme in Scheme::ALL {
-            let config = ExperimentConfig {
-                scheme,
-                degree: 4,
-                total_bytes: 100_000_000,
-                topo: TwoDcParams::default().with_wan_latency(SimDuration::from_micros(us)),
-                seed: opts.seed,
-                ..Default::default()
-            };
-            let (summary, _) = run_repeated(&config, opts.runs);
+            let (summary, _) = results.next().expect("one result per cell");
             let reduction = match baseline_mean {
                 None => {
                     baseline_mean = Some(summary.mean);

@@ -17,6 +17,7 @@
 //!   --jitter X          leaf-spine latency jitter fraction (default 0)
 //!   --background N      background flows sharing the fabric (default 0)
 //!   --trim default|on|off   trimming policy (default scheme-default)
+//!   --jobs N            worker threads for the sweep (default: all cores)
 
 use dcsim::prelude::*;
 use incast_core::experiment::TrimPolicy;
@@ -37,6 +38,7 @@ struct Cli {
     jitter: f64,
     background: usize,
     trim: TrimPolicy,
+    jobs: usize,
 }
 
 impl Default for Cli {
@@ -52,6 +54,7 @@ impl Default for Cli {
             jitter: 0.0,
             background: 0,
             trim: TrimPolicy::SchemeDefault,
+            jobs: 0,
         }
     }
 }
@@ -60,7 +63,7 @@ fn parse_args() -> Cli {
     let mut cli = Cli::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
-    let usage = "see the module docs: --scheme --degree --mb --wan-us --runs --seed --iw-scale --jitter --background --trim";
+    let usage = "see the module docs: --scheme --degree --mb --wan-us --runs --seed --iw-scale --jitter --background --trim --jobs";
     while let Some(arg) = it.next() {
         let mut value = || {
             it.next()
@@ -95,6 +98,7 @@ fn parse_args() -> Cli {
                     other => panic!("unknown trim policy {other:?}; {usage}"),
                 };
             }
+            "--jobs" => cli.jobs = value().parse().expect("--jobs: integer"),
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);
@@ -161,18 +165,16 @@ fn main() {
         cli.degree, cli.mb, cli.wan_us, cli.iw_scale, cli.jitter, cli.background, cli.runs
     );
     println!();
+    let runs =
+        bench::SweepRunner::new(cli.jobs).run_repeated(&cli.schemes, cli.runs, |&scheme, r| {
+            run_once(&cli, scheme, derive_seed(cli.seed, r as u64))
+        });
     let mut table = Table::new(vec!["scheme", "ICT mean", "min", "max", "rtos", "retx"]);
     let mut baseline_mean = None;
-    for &scheme in &cli.schemes {
-        let mut icts = Vec::new();
-        let mut rtos = 0u64;
-        let mut retx = 0u64;
-        for r in 0..cli.runs {
-            let (ict, rt, rx) = run_once(&cli, scheme, derive_seed(cli.seed, r as u64));
-            icts.push(ict);
-            rtos += rt;
-            retx += rx;
-        }
+    for (&scheme, outcomes) in cli.schemes.iter().zip(&runs) {
+        let icts: Vec<f64> = outcomes.iter().map(|&(ict, _, _)| ict).collect();
+        let rtos: u64 = outcomes.iter().map(|&(_, rt, _)| rt).sum();
+        let retx: u64 = outcomes.iter().map(|&(_, _, rx)| rx).sum();
         let summary = Summary::of(&icts);
         if scheme == Scheme::Baseline {
             baseline_mean = Some(summary.mean);

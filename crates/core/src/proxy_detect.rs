@@ -136,7 +136,11 @@ impl Agent for DetectingProxy {
         }
         self.timer_armed = false;
         let mut any_state = false;
-        let flows: Vec<FlowId> = self.flows.keys().copied().collect();
+        // Sweep flows in id order: HashMap iteration order varies per
+        // process, and the NACK emission order decides event scheduling
+        // order — unsorted, identical runs diverge.
+        let mut flows: Vec<FlowId> = self.flows.keys().copied().collect();
+        flows.sort_unstable();
         for flow in flows {
             if !self.detector.has_state(flow) {
                 continue;

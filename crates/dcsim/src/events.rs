@@ -1,14 +1,24 @@
 //! The discrete-event queue.
 //!
-//! A binary heap keyed by `(time, sequence)`: the sequence number breaks
-//! ties in insertion order, which makes runs fully deterministic — two
-//! events scheduled for the same picosecond always fire in the order they
-//! were scheduled.
+//! An indexed 4-ary min-heap keyed by `(time, sequence)`: the sequence
+//! number breaks ties in insertion order, which makes runs fully
+//! deterministic — two events scheduled for the same picosecond always
+//! fire in the order they were scheduled.
+//!
+//! Layout matters here: this queue is the simulator's hottest structure
+//! (one push + one pop per event, tens of millions per run). The heap
+//! itself holds only 24-byte `(time, seq, slot)` entries, so sift-up /
+//! sift-down move small Copy values with good cache locality; the fat
+//! [`Event`] payloads (a full [`Packet`] by value in the `Arrival` case)
+//! live in a slab indexed by `slot` and are written exactly once on
+//! `schedule` and read exactly once on `pop`. Freed slots are recycled
+//! through a free list, so a steady-state run allocates nothing per event.
+//! The 4-ary shape halves tree depth versus a binary heap, trading a few
+//! extra comparisons per level for fewer cache-missing levels — the usual
+//! win for discrete-event simulation workloads.
 
 use crate::packet::{AgentId, NodeId, Packet, PortId};
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Timer discriminator passed back to the agent that armed it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,34 +63,38 @@ pub enum Event {
     Fault(FaultEvent),
 }
 
-struct Scheduled {
+/// Heap arity. Four children per node keeps the tree shallow (log₄ n
+/// levels) while a whole sibling group still fits in one or two cache
+/// lines of 24-byte entries.
+const ARITY: usize = 4;
+
+/// A compact heap entry: ordering key plus a handle into the event slab.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
     at: SimTime,
     seq: u64,
-    event: Event,
+    slot: u32,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert to pop the earliest (time, seq).
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+impl HeapEntry {
+    /// Min-heap ordering key: earliest time first, schedule order within a
+    /// timestamp.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
 /// The event queue: a deterministic min-heap of [`Event`]s.
 #[derive(Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+    /// Indexed 4-ary min-heap of compact entries.
+    heap: Vec<HeapEntry>,
+    /// Slab of event payloads; `HeapEntry::slot` indexes into it. `None`
+    /// slots are free and linked through `free`.
+    slab: Vec<Option<Event>>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
     next_seq: u64,
     now: SimTime,
 }
@@ -89,6 +103,18 @@ impl EventQueue {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events
+    /// before any reallocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current simulated time (the timestamp of the last popped event).
@@ -119,20 +145,84 @@ impl EventQueue {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slab[slot as usize].is_none());
+                self.slab[slot as usize] = Some(event);
+                slot
+            }
+            None => {
+                let slot = self.slab.len() as u32;
+                self.slab.push(Some(event));
+                slot
+            }
+        };
+        self.heap.push(HeapEntry { at, seq, slot });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        let s = self.heap.pop()?;
-        debug_assert!(s.at >= self.now, "heap returned an out-of-order event");
-        self.now = s.at;
-        Some((s.at, s.event))
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        debug_assert!(top.at >= self.now, "heap returned an out-of-order event");
+        self.now = top.at;
+        let event = self.slab[top.slot as usize]
+            .take()
+            .expect("heap entry pointing at a free slot");
+        self.free.push(top.slot);
+        Some((top.at, event))
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.heap.first().map(|e| e.at)
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.heap[parent].key() <= entry.key() {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = entry;
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        let len = self.heap.len();
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let last_child = (first_child + ARITY).min(len);
+            let mut best = first_child;
+            let mut best_key = self.heap[first_child].key();
+            for c in first_child + 1..last_child {
+                let k = self.heap[c].key();
+                if k < best_key {
+                    best = c;
+                    best_key = k;
+                }
+            }
+            if entry.key() <= best_key {
+                break;
+            }
+            self.heap[i] = self.heap[best];
+            i = best;
+        }
+        self.heap[i] = entry;
     }
 }
 
@@ -214,5 +304,73 @@ mod tests {
         let mut q = EventQueue::new();
         assert!(q.pop().is_none());
         assert!(q.is_empty());
+    }
+
+    /// Random interleaving of schedules and pops against a reference
+    /// model: the heap must agree with a sorted `(time, seq)` list at
+    /// every step, and slab slots must be recycled rather than leaked.
+    #[test]
+    fn randomized_interleaving_matches_reference() {
+        let mut rng = trace::SplitMix64::new(0xE7E7);
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new(); // (time, tag)
+        let mut next_tag = 0u64;
+        for _ in 0..10_000 {
+            if reference.is_empty() || rng.next_bounded(3) > 0 {
+                let at = q.now().0 + rng.next_bounded(50);
+                q.schedule(SimTime(at), dummy(next_tag));
+                reference.push((at, next_tag));
+                next_tag += 1;
+            } else {
+                let (at, event) = q.pop().expect("reference non-empty");
+                // Earliest time, first-scheduled within it. Tags increase
+                // with schedule order, so min-by (time, tag) is the model.
+                let best = reference
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &(t, tag))| (t, tag))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                let (want_at, want_tag) = reference.swap_remove(best);
+                assert_eq!((at.0, tag_of(&event)), (want_at, want_tag));
+            }
+            assert_eq!(q.len(), reference.len());
+        }
+        // Drain; times must be non-decreasing to the end.
+        let mut last = q.now();
+        while let Some((at, _)) = q.pop() {
+            assert!(at >= last);
+            last = at;
+        }
+        assert!(q.is_empty());
+    }
+
+    /// A bounded-pending workload must not grow the slab beyond its peak
+    /// concurrency: freed slots are reused.
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..1_000u64 {
+            for k in 0..8 {
+                q.schedule(SimTime(round * 10 + k), dummy(k));
+            }
+            for _ in 0..8 {
+                q.pop().expect("scheduled");
+            }
+        }
+        assert!(
+            q.slab.len() <= 8,
+            "slab grew to {} slots for 8 concurrent events",
+            q.slab.len()
+        );
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime(3), dummy(1));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(SimTime(3)));
     }
 }

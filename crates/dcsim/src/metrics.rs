@@ -1,54 +1,83 @@
 //! Run-level metrics: flow completion times and protocol counters.
+//!
+//! Storage is dense and index-addressed: counters live in a fixed
+//! [`Counter::COUNT`]-sized array and per-flow data in `Vec`s indexed by
+//! `FlowId` (flow ids are small dense integers handed out sequentially by
+//! the simulator). The per-event hot paths — `count` and `flow_done` —
+//! are array writes, not hash-map probes.
 
 use crate::agent::Counter;
 use crate::packet::FlowId;
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 use trace::Summary;
 
 /// Metrics collected during one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimMetrics {
-    /// Completion timestamp per flow (set by the receiving endpoint once it
-    /// has every byte).
-    completions: HashMap<FlowId, SimTime>,
-    /// Protocol counters bumped by agents.
-    counters: HashMap<Counter, u64>,
-    /// Per-flow proxy-failover latencies (silence start → path switch).
-    /// A flow can fail over more than once if the proxy flaps.
-    failover_latencies: HashMap<FlowId, Vec<SimDuration>>,
+    /// Completion timestamp per flow, indexed by `FlowId` (set by the
+    /// receiving endpoint once it has every byte); grown lazily.
+    completions: Vec<Option<SimTime>>,
+    /// Number of `Some` entries in `completions`.
+    completed: usize,
+    /// Protocol counters bumped by agents, indexed by [`Counter::index`].
+    counters: [u64; Counter::COUNT],
+    /// Per-flow proxy-failover latencies (silence start → path switch),
+    /// indexed by `FlowId`; grown lazily. A flow can fail over more than
+    /// once if the proxy flaps.
+    failover_latencies: Vec<Vec<SimDuration>>,
     /// Number of events processed.
     pub events_processed: u64,
+}
+
+impl Default for SimMetrics {
+    fn default() -> Self {
+        SimMetrics {
+            completions: Vec::new(),
+            completed: 0,
+            counters: [0; Counter::COUNT],
+            failover_latencies: Vec::new(),
+            events_processed: 0,
+        }
+    }
 }
 
 impl SimMetrics {
     /// Records a flow completion. First completion wins; duplicate
     /// completions (e.g. duplicate final ACKs) are ignored.
     pub(crate) fn flow_done(&mut self, flow: FlowId, at: SimTime) {
-        self.completions.entry(flow).or_insert(at);
+        let i = flow.index();
+        if i >= self.completions.len() {
+            self.completions.resize(i + 1, None);
+        }
+        if self.completions[i].is_none() {
+            self.completions[i] = Some(at);
+            self.completed += 1;
+        }
     }
 
     /// Bumps a counter.
+    #[inline]
     pub(crate) fn count(&mut self, counter: Counter, amount: u64) {
-        *self.counters.entry(counter).or_insert(0) += amount;
+        self.counters[counter.index()] += amount;
     }
 
     /// Records one proxy-failover latency sample for `flow`.
     pub(crate) fn failover_latency(&mut self, flow: FlowId, latency: SimDuration) {
-        self.failover_latencies
-            .entry(flow)
-            .or_default()
-            .push(latency);
+        let i = flow.index();
+        if i >= self.failover_latencies.len() {
+            self.failover_latencies.resize_with(i + 1, Vec::new);
+        }
+        self.failover_latencies[i].push(latency);
     }
 
     /// Completion time of a flow, if it completed.
     pub fn completion(&self, flow: FlowId) -> Option<SimTime> {
-        self.completions.get(&flow).copied()
+        self.completions.get(flow.index()).copied().flatten()
     }
 
     /// Number of completed flows.
     pub fn completed_flows(&self) -> usize {
-        self.completions.len()
+        self.completed
     }
 
     /// Latest completion among the given flows — the incast completion time
@@ -64,7 +93,17 @@ impl SimMetrics {
 
     /// Value of a counter (0 if never bumped).
     pub fn counter(&self, counter: Counter) -> u64 {
-        self.counters.get(&counter).copied().unwrap_or(0)
+        self.counters[counter.index()]
+    }
+
+    /// All counters with non-zero values, in [`Counter::ALL`] order — the
+    /// exhaustive report form.
+    pub fn nonzero_counters(&self) -> Vec<(Counter, u64)> {
+        Counter::ALL
+            .into_iter()
+            .filter(|c| self.counters[c.index()] > 0)
+            .map(|c| (c, self.counters[c.index()]))
+            .collect()
     }
 
     /// Flow completion times relative to `start`, for the given flows,
@@ -82,18 +121,16 @@ impl SimMetrics {
     /// the proxy and the moment the sender switched to the direct path.
     pub fn failover_latencies(&self, flow: FlowId) -> &[SimDuration] {
         self.failover_latencies
-            .get(&flow)
+            .get(flow.index())
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
 
-    /// All failover-latency samples across flows (unordered across flows).
+    /// All failover-latency samples across flows, in flow-id order.
     pub fn all_failover_latencies(&self) -> Vec<SimDuration> {
-        let mut flows: Vec<&FlowId> = self.failover_latencies.keys().collect();
-        flows.sort();
-        flows
-            .into_iter()
-            .flat_map(|f| self.failover_latencies[f].iter().copied())
+        self.failover_latencies
+            .iter()
+            .flat_map(|v| v.iter().copied())
             .collect()
     }
 
@@ -159,5 +196,30 @@ mod tests {
         m.count(Counter::Retransmits, 3);
         assert_eq!(m.counter(Counter::Retransmits), 5);
         assert_eq!(m.counter(Counter::RtoFires), 0);
+    }
+
+    #[test]
+    fn nonzero_counters_report_in_declaration_order() {
+        let mut m = SimMetrics::default();
+        m.count(Counter::PacketsLostToFault, 4);
+        m.count(Counter::ProxyNacks, 1);
+        assert_eq!(
+            m.nonzero_counters(),
+            vec![(Counter::ProxyNacks, 1), (Counter::PacketsLostToFault, 4)]
+        );
+    }
+
+    #[test]
+    fn sparse_flow_ids_grow_lazily() {
+        let mut m = SimMetrics::default();
+        m.flow_done(FlowId(70), SimTime(9));
+        m.failover_latency(FlowId(5), SimDuration(300));
+        assert_eq!(m.completion(FlowId(70)), Some(SimTime(9)));
+        assert_eq!(m.completion(FlowId(0)), None);
+        assert_eq!(m.completion(FlowId(1000)), None);
+        assert_eq!(m.failover_latencies(FlowId(5)), &[SimDuration(300)]);
+        assert!(m.failover_latencies(FlowId(1000)).is_empty());
+        assert_eq!(m.all_failover_latencies(), vec![SimDuration(300)]);
+        assert_eq!(m.completed_flows(), 1);
     }
 }

@@ -56,9 +56,13 @@ pub struct Simulator {
     metrics: SimMetrics,
     event_cap: u64,
     effects_pool: Vec<Vec<Effect>>,
-    /// Occupancy traces of designated ports: (time, total queued bytes)
-    /// sampled at every enqueue and dequeue.
-    traces: std::collections::HashMap<PortId, Vec<(SimTime, u64)>>,
+    /// Occupancy traces of designated ports, indexed by `PortId`: `Some`
+    /// entries collect (time, total queued bytes) samples at every enqueue
+    /// and dequeue; `None` entries are untraced. Dense indexing keeps the
+    /// per-sample hot path a bounds-checked load instead of a hash probe.
+    traces: Vec<Option<Vec<(SimTime, u64)>>>,
+    /// Fast-path flag: true once any port is traced.
+    tracing: bool,
     /// Per-port "link is down" flags toggled by fault events.
     link_down: Vec<bool>,
     /// Per-port (loss, corruption) probabilities from installed fault
@@ -85,7 +89,7 @@ impl Simulator {
         let port_count = topo.port_count();
         Simulator {
             topo,
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(1024),
             ports,
             agents: Vec::new(),
             flows: Vec::new(),
@@ -93,7 +97,8 @@ impl Simulator {
             metrics: SimMetrics::default(),
             event_cap: 2_000_000_000,
             effects_pool: Vec::new(),
-            traces: std::collections::HashMap::new(),
+            traces: vec![None; port_count],
+            tracing: false,
             link_down: vec![false; port_count],
             impairments: vec![(0.0, 0.0); port_count],
             crashed: Vec::new(),
@@ -217,13 +222,14 @@ impl Simulator {
     /// Starts recording an occupancy trace of `port`: one `(time, queued
     /// bytes)` sample per enqueue and per dequeue.
     pub fn trace_port(&mut self, port: PortId) {
-        self.traces.entry(port).or_default();
+        self.traces[port.index()].get_or_insert_with(Vec::new);
+        self.tracing = true;
     }
 
     /// The recorded occupancy trace of a port (empty unless
     /// [`Simulator::trace_port`] was called before running).
     pub fn port_trace(&self, port: PortId) -> &[(SimTime, u64)] {
-        self.traces.get(&port).map(Vec::as_slice).unwrap_or(&[])
+        self.traces[port.index()].as_deref().unwrap_or(&[])
     }
 
     /// Registers an agent, returning its id.
@@ -412,11 +418,11 @@ impl Simulator {
 
     #[inline]
     fn sample_trace(&mut self, now: SimTime, port: PortId) {
-        if self.traces.is_empty() {
+        if !self.tracing {
             return;
         }
-        let bytes = self.ports[port.index()].queue.total_bytes();
-        if let Some(trace) = self.traces.get_mut(&port) {
+        if let Some(trace) = &mut self.traces[port.index()] {
+            let bytes = self.ports[port.index()].queue.total_bytes();
             trace.push((now, bytes));
         }
     }
@@ -476,10 +482,13 @@ impl Simulator {
     }
 
     fn apply_effects(&mut self, now: SimTime, effects: &mut Vec<Effect>) {
-        // Effects can nest (a Notify handler emits more effects), so drain
-        // by index; nested dispatches use their own buffer from the pool.
-        let drained: Vec<Effect> = std::mem::take(effects);
-        for effect in drained {
+        // Effects can nest (a Notify handler emits more effects), so move
+        // the buffer out while iterating; nested dispatches use their own
+        // buffer from the pool. The buffer (and its capacity) is handed
+        // back to `effects` afterwards so the pool never loses warm
+        // allocations to this drain.
+        let mut drained: Vec<Effect> = std::mem::take(effects);
+        for effect in drained.drain(..) {
             match effect {
                 Effect::Send {
                     from,
@@ -515,6 +524,7 @@ impl Simulator {
                 }
             }
         }
+        *effects = drained;
     }
 }
 

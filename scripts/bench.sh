@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Performance snapshot: runs the simulator criterion suite plus a
+# reference sweep (fig2_left --quick, serial vs all cores) and writes the
+# results to BENCH_simulator.json so successive PRs can track the perf
+# trajectory.
+#
+#   scripts/bench.sh            # full criterion run + reference sweep
+#   scripts/bench.sh --offline  # for machines without registry access
+#                               # (criterion stub: sweep timings only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+for arg in "$@"; do
+  case "$arg" in
+    --offline) OFFLINE=(--offline) ;;
+    *) echo "unknown argument: $arg (only --offline is supported)" >&2; exit 2 ;;
+  esac
+done
+
+OUT=BENCH_simulator.json
+
+echo "== cargo bench (simulator suite)"
+cargo bench "${OFFLINE[@]}" -p bench --bench simulator
+
+echo "== reference sweep wall-clock (fig2_left --quick)"
+cargo build --release "${OFFLINE[@]}" -q -p bench --bin fig2_left
+BIN=target/release/fig2_left
+
+time_run() { # $1 = jobs; prints fractional seconds
+  local start end
+  start=$(date +%s%N)
+  "$BIN" --quick --jobs "$1" >/dev/null
+  end=$(date +%s%N)
+  awk -v s="$start" -v e="$end" 'BEGIN { printf "%.3f", (e - s) / 1e9 }'
+}
+
+SERIAL=$(time_run 1)
+PARALLEL=$(time_run 0) # 0 = auto: all available cores
+echo "serial ${SERIAL}s, parallel ${PARALLEL}s"
+
+echo "== writing $OUT"
+GIT_REV=$(git describe --always --dirty 2>/dev/null || echo unknown)
+python3 - "$OUT" "$SERIAL" "$PARALLEL" "$GIT_REV" <<'PY'
+import json, os, sys
+
+out, serial, parallel, rev = (
+    sys.argv[1], float(sys.argv[2]), float(sys.argv[3]), sys.argv[4],
+)
+summary = {
+    "suite": "simulator",
+    "git_rev": rev,
+    "reference_sweep": {
+        "binary": "fig2_left --quick",
+        "serial_secs": serial,
+        "parallel_secs": parallel,
+        "speedup": round(serial / parallel, 2) if parallel else None,
+    },
+    "criterion": {},
+}
+# Harvest criterion point estimates when a real (non-stub) criterion run
+# produced them; the offline stub doesn't measure anything.
+root = "target/criterion"
+walk = os.walk(root) if os.path.isdir(root) else []
+for dirpath, _dirs, files in walk:
+    if "estimates.json" in files and dirpath.endswith(os.sep + "new"):
+        bench = os.path.relpath(os.path.dirname(dirpath), root).replace(os.sep, "/")
+        with open(os.path.join(dirpath, "estimates.json")) as f:
+            est = json.load(f)
+        summary["criterion"][bench] = {
+            "mean_ns": est["mean"]["point_estimate"],
+            "std_dev_ns": est["std_dev"]["point_estimate"],
+        }
+with open(out, "w") as f:
+    json.dump(summary, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}")
+PY

@@ -20,6 +20,12 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace "${OFFLINE[@]}" -- -D warnings
 
+echo "== cargo bench --no-run (bench code compiles)"
+cargo bench --workspace "${OFFLINE[@]}" --no-run
+
+echo "== determinism regression (parallel sweep == serial sweep)"
+cargo test -p bench "${OFFLINE[@]}" --test sweep_determinism -q
+
 echo "== cargo test"
 cargo test --workspace "${OFFLINE[@]}" -q
 
