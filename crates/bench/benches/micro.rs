@@ -24,7 +24,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 SimTime(t),
                 Event::Timer {
                     agent: AgentId(0),
-                    kind: TimerKind::Rto { epoch: 0 },
+                    kind: TimerKind::Rto,
                 },
             );
         }
@@ -34,7 +34,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 SimTime(at.0 + 1 + rng.next_bounded(1000)),
                 Event::Timer {
                     agent: AgentId(0),
-                    kind: TimerKind::Rto { epoch: 0 },
+                    kind: TimerKind::Rto,
                 },
             );
             black_box(at)

@@ -2,7 +2,7 @@
 //! events per second the engine processes for representative incasts.
 //! These keep the figure binaries' runtimes honest as the code evolves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dcsim::events::{Event, EventQueue, TimerKind};
 use dcsim::packet::AgentId;
 use dcsim::time::SimTime;
@@ -31,7 +31,7 @@ fn bench_event_queue_churn(c: &mut Criterion) {
                         SimTime(t),
                         Event::Timer {
                             agent: AgentId(0),
-                            kind: TimerKind::Rto { epoch: 0 },
+                            kind: TimerKind::Rto,
                         },
                     );
                 }
@@ -41,7 +41,7 @@ fn bench_event_queue_churn(c: &mut Criterion) {
                         SimTime(at.0 + 1 + rng.next_bounded(1000)),
                         Event::Timer {
                             agent: AgentId(0),
-                            kind: TimerKind::Rto { epoch: 0 },
+                            kind: TimerKind::Rto,
                         },
                     );
                     at
@@ -49,6 +49,53 @@ fn bench_event_queue_churn(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+/// The hot path the cancelable-timer-slot rework targets. Two views of
+/// it: the raw queue operation (reschedule-in-place against a large
+/// standing population, which replaced push + eventual stale pop), and
+/// an ACK-heavy incast where every arriving ACK moves the sender's RTO.
+fn bench_timer_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timer_churn");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("reschedule_in_place_100k_pending", |b| {
+        let mut q = EventQueue::with_capacity(100_001);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..100_000 {
+            q.schedule(
+                SimTime(1 + rng.next_bounded(1_000_000_000)),
+                Event::Timer {
+                    agent: AgentId(0),
+                    kind: TimerKind::Rto,
+                },
+            );
+        }
+        let h = q.schedule_cancelable(
+            SimTime(1),
+            Event::Timer {
+                agent: AgentId(1),
+                kind: TimerKind::Rto,
+            },
+        );
+        b.iter(|| {
+            let at = SimTime(1 + rng.next_bounded(1_000_000_000));
+            black_box(q.reschedule(h, at))
+        });
+    });
+    group.sample_size(10);
+    group.bench_function("ack_heavy_incast_deg7_1MB", |b| {
+        // Max fan-in the small topology supports (8 hosts per DC, one of
+        // which is the proxy): every ACK rearms that sender's RTO slot.
+        let config = ExperimentConfig {
+            topo: TwoDcParams::small_test(),
+            scheme: Scheme::ProxyStreamlined,
+            degree: 7,
+            total_bytes: 1_000_000,
+            ..Default::default()
+        };
+        b.iter(|| run_incast(&config, 1));
+    });
     group.finish();
 }
 
@@ -97,6 +144,7 @@ fn bench_event_rate(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue_churn,
+    bench_timer_churn,
     bench_incast_simulation,
     bench_event_rate
 );

@@ -29,6 +29,9 @@ use dcsim::packet::{FlowId, HostId, Packet, PacketKind};
 use dcsim::time::{SimDuration, SimTime};
 use std::collections::HashMap;
 
+/// Cancelable timer slot holding the quiescence sweep timer.
+const SWEEP_SLOT: u32 = 0;
+
 /// Address pair of a proxied flow (sender side and receiver side).
 #[derive(Debug, Clone, Copy)]
 struct FlowDirs {
@@ -50,8 +53,7 @@ pub struct DetectingProxy {
     sweep_interval: SimDuration,
     /// Last data observation per flow.
     last_seen: HashMap<FlowId, SimTime>,
-    /// Timer epoch (stale sweep timers are ignored).
-    epoch: u64,
+    /// True while the sweep slot holds a pending timer.
     timer_armed: bool,
 }
 
@@ -65,7 +67,6 @@ impl DetectingProxy {
             processing_delay,
             sweep_interval: SimDuration::from_micros(50),
             last_seen: HashMap::new(),
-            epoch: 0,
             timer_armed: false,
         }
     }
@@ -82,13 +83,10 @@ impl DetectingProxy {
             return;
         }
         self.timer_armed = true;
-        self.epoch += 1;
-        ctx.arm_timer(
+        ctx.rearm_timer(
+            SWEEP_SLOT,
             ctx.now + self.sweep_interval,
-            TimerKind::Custom {
-                tag: 0,
-                epoch: self.epoch,
-            },
+            TimerKind::Custom { tag: 0 },
         );
     }
 
@@ -128,12 +126,9 @@ impl DetectingProxy {
 
 impl Agent for DetectingProxy {
     fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx) {
-        let TimerKind::Custom { epoch, .. } = kind else {
+        let TimerKind::Custom { .. } = kind else {
             return;
         };
-        if epoch != self.epoch {
-            return; // Stale sweep.
-        }
         self.timer_armed = false;
         let mut any_state = false;
         // Sweep flows in id order: HashMap iteration order varies per
@@ -158,12 +153,11 @@ impl Agent for DetectingProxy {
             any_state = any_state || self.detector.has_state(flow);
         }
         if any_state {
-            self.timer_armed = false;
             self.arm_sweep(ctx);
         }
     }
 
-    fn on_crash(&mut self) {
+    fn on_crash(&mut self, ctx: &mut Ctx) {
         // In-flight soft state dies with the process: gap-tracking and
         // quiescence bookkeeping are rebuilt from live traffic after a
         // restart. Flow registrations are configuration and survive.
@@ -171,7 +165,7 @@ impl Agent for DetectingProxy {
         self.detector = LossDetector::new(config);
         self.last_seen.clear();
         self.timer_armed = false;
-        self.epoch += 1; // Pre-crash sweep timers are stale.
+        ctx.cancel_timer(SWEEP_SLOT);
     }
 
     fn on_packet(&mut self, mut pkt: Packet, ctx: &mut Ctx) {
@@ -360,7 +354,7 @@ mod tests {
         let mut fx = Vec::new();
         p.on_packet(data(0), &mut ctx_with(&mut fx));
         p.on_packet(data(2), &mut ctx_with(&mut fx)); // open gap for seq 1
-        p.on_crash();
+        p.on_crash(&mut ctx_with(&mut fx));
         fx.clear();
         // Post-restart traffic is forwarded (registration survived) and the
         // pre-crash gap is forgotten (fresh detector state).

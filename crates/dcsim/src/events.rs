@@ -21,14 +21,29 @@ use crate::packet::{AgentId, NodeId, Packet, PortId};
 use crate::time::SimTime;
 
 /// Timer discriminator passed back to the agent that armed it.
+///
+/// Carries no validity state: a timer that should no longer fire is
+/// canceled or rescheduled in place through its [`TimerHandle`] instead of
+/// being left in the heap to be popped and discarded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimerKind {
-    /// Retransmission timeout. Carries the arming epoch: a timer whose
-    /// epoch no longer matches the agent's current epoch is stale and is
-    /// dropped without reaching the agent.
-    Rto { epoch: u64 },
+    /// Retransmission timeout.
+    Rto,
     /// Generic agent-defined timer (pacing, orchestration probes, ...).
-    Custom { tag: u64, epoch: u64 },
+    Custom { tag: u64 },
+}
+
+/// A stable reference to a pending event, returned by
+/// [`EventQueue::schedule_cancelable`].
+///
+/// The handle names a slab slot plus the generation the slot had when the
+/// event was scheduled; once the event fires, is canceled, or its slot is
+/// recycled, the generation moves on and the handle goes harmlessly stale
+/// ([`EventQueue::cancel`] / [`EventQueue::reschedule`] become no-ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle {
+    slot: u32,
+    gen: u32,
 }
 
 /// A scheduled infrastructure fault (see [`crate::faults::FaultPlan`]).
@@ -85,7 +100,8 @@ impl HeapEntry {
     }
 }
 
-/// The event queue: a deterministic min-heap of [`Event`]s.
+/// The event queue: a deterministic min-heap of [`Event`]s with
+/// first-class cancel and reschedule-in-place.
 #[derive(Default)]
 pub struct EventQueue {
     /// Indexed 4-ary min-heap of compact entries.
@@ -95,6 +111,13 @@ pub struct EventQueue {
     slab: Vec<Option<Event>>,
     /// Recycled slab slots.
     free: Vec<u32>,
+    /// Heap index of each occupied slot (`pos[slot]` is only meaningful
+    /// while the slot is live); maintained by every sift so cancel and
+    /// reschedule find their entry in O(1).
+    pos: Vec<u32>,
+    /// Per-slot generation, bumped whenever a slot is freed; a
+    /// [`TimerHandle`] is live iff its generation still matches.
+    gen: Vec<u32>,
     next_seq: u64,
     now: SimTime,
 }
@@ -112,6 +135,8 @@ impl EventQueue {
             heap: Vec::with_capacity(capacity),
             slab: Vec::with_capacity(capacity),
             free: Vec::new(),
+            pos: Vec::with_capacity(capacity),
+            gen: Vec::with_capacity(capacity),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -138,6 +163,17 @@ impl EventQueue {
     /// Panics if `at` is in the past — events may only be scheduled at or
     /// after the current time.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
+        self.schedule_cancelable(at, event);
+    }
+
+    /// Schedules `event` at absolute time `at`, returning a handle that
+    /// can later [`cancel`](Self::cancel) or
+    /// [`reschedule`](Self::reschedule) it while it is still pending.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — events may only be scheduled at or
+    /// after the current time.
+    pub fn schedule_cancelable(&mut self, at: SimTime, event: Event) -> TimerHandle {
         assert!(
             at >= self.now,
             "scheduling into the past: at={at} now={}",
@@ -154,11 +190,94 @@ impl EventQueue {
             None => {
                 let slot = self.slab.len() as u32;
                 self.slab.push(Some(event));
+                self.pos.push(0);
+                self.gen.push(0);
                 slot
             }
         };
+        let i = self.heap.len();
         self.heap.push(HeapEntry { at, seq, slot });
-        self.sift_up(self.heap.len() - 1);
+        self.pos[slot as usize] = i as u32;
+        self.sift_up(i);
+        TimerHandle {
+            slot,
+            gen: self.gen[slot as usize],
+        }
+    }
+
+    /// True while the handle's event is still pending (not yet popped,
+    /// canceled, or recycled).
+    pub fn is_live(&self, handle: TimerHandle) -> bool {
+        self.gen
+            .get(handle.slot as usize)
+            .is_some_and(|&g| g == handle.gen)
+            && self.slab[handle.slot as usize].is_some()
+    }
+
+    /// Cancels a pending event, removing it from the heap and returning
+    /// its payload. Returns `None` (and does nothing) if the handle is
+    /// stale — the event already fired, was canceled, or its slot moved on.
+    pub fn cancel(&mut self, handle: TimerHandle) -> Option<Event> {
+        if !self.is_live(handle) {
+            return None;
+        }
+        let i = self.pos[handle.slot as usize] as usize;
+        debug_assert_eq!(self.heap[i].slot, handle.slot);
+        let last = self.heap.pop().expect("live handle implies non-empty heap");
+        if i < self.heap.len() {
+            self.heap[i] = last;
+            self.pos[last.slot as usize] = i as u32;
+            // The displaced tail entry can violate the heap property in
+            // either direction relative to position `i`.
+            if i > 0 && self.heap[i].key() < self.heap[(i - 1) / ARITY].key() {
+                self.sift_up(i);
+            } else {
+                self.sift_down(i);
+            }
+        }
+        Some(self.free_slot(handle.slot))
+    }
+
+    /// Moves a pending event to a new deadline in place: an indexed
+    /// decrease/increase-key instead of a cancel + schedule pair. The entry
+    /// takes a fresh sequence number, so within a timestamp it orders as if
+    /// it had just been scheduled — exactly where a cancel + re-schedule
+    /// would have put it. Returns `false` (and does nothing) on a stale
+    /// handle.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn reschedule(&mut self, handle: TimerHandle, at: SimTime) -> bool {
+        assert!(
+            at >= self.now,
+            "rescheduling into the past: at={at} now={}",
+            self.now
+        );
+        if !self.is_live(handle) {
+            return false;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let i = self.pos[handle.slot as usize] as usize;
+        debug_assert_eq!(self.heap[i].slot, handle.slot);
+        let went_earlier = (at, seq) < self.heap[i].key();
+        self.heap[i].at = at;
+        self.heap[i].seq = seq;
+        if went_earlier {
+            self.sift_up(i);
+        } else {
+            self.sift_down(i);
+        }
+        true
+    }
+
+    /// Mutable access to a pending event's payload (e.g. to refresh a
+    /// timer's kind on reschedule). `None` on a stale handle.
+    pub fn event_mut(&mut self, handle: TimerHandle) -> Option<&mut Event> {
+        if !self.is_live(handle) {
+            return None;
+        }
+        self.slab[handle.slot as usize].as_mut()
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.
@@ -167,15 +286,23 @@ impl EventQueue {
         let last = self.heap.pop().expect("non-empty");
         if !self.heap.is_empty() {
             self.heap[0] = last;
+            self.pos[last.slot as usize] = 0;
             self.sift_down(0);
         }
         debug_assert!(top.at >= self.now, "heap returned an out-of-order event");
         self.now = top.at;
-        let event = self.slab[top.slot as usize]
+        Some((top.at, self.free_slot(top.slot)))
+    }
+
+    /// Releases a slot back to the free list, invalidating any handle that
+    /// still points at it, and returns the payload it held.
+    fn free_slot(&mut self, slot: u32) -> Event {
+        let event = self.slab[slot as usize]
             .take()
-            .expect("heap entry pointing at a free slot");
-        self.free.push(top.slot);
-        Some((top.at, event))
+            .expect("freeing an already-free slot");
+        self.gen[slot as usize] = self.gen[slot as usize].wrapping_add(1);
+        self.free.push(slot);
+        event
     }
 
     /// Timestamp of the earliest pending event, if any.
@@ -192,9 +319,11 @@ impl EventQueue {
                 break;
             }
             self.heap[i] = self.heap[parent];
+            self.pos[self.heap[i].slot as usize] = i as u32;
             i = parent;
         }
         self.heap[i] = entry;
+        self.pos[entry.slot as usize] = i as u32;
     }
 
     #[inline]
@@ -220,9 +349,11 @@ impl EventQueue {
                 break;
             }
             self.heap[i] = self.heap[best];
+            self.pos[self.heap[i].slot as usize] = i as u32;
             i = best;
         }
         self.heap[i] = entry;
+        self.pos[entry.slot as usize] = i as u32;
     }
 }
 
@@ -234,7 +365,7 @@ mod tests {
     fn dummy(tag: u64) -> Event {
         Event::Timer {
             agent: AgentId(0),
-            kind: TimerKind::Custom { tag, epoch: 0 },
+            kind: TimerKind::Custom { tag },
         }
     }
 
@@ -363,6 +494,176 @@ mod tests {
             "slab grew to {} slots for 8 concurrent events",
             q.slab.len()
         );
+    }
+
+    #[test]
+    fn canceled_event_never_fires() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancelable(SimTime(10), dummy(1));
+        q.schedule(SimTime(20), dummy(2));
+        assert!(q.is_live(h));
+        assert!(matches!(
+            q.cancel(h),
+            Some(Event::Timer {
+                kind: TimerKind::Custom { tag: 1 },
+                ..
+            })
+        ));
+        assert!(!q.is_live(h));
+        assert_eq!(q.len(), 1);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(&e))
+            .collect();
+        assert_eq!(order, vec![2], "canceled event must not fire");
+        // Double-cancel and cancel-after-drain are no-ops.
+        assert!(q.cancel(h).is_none());
+    }
+
+    #[test]
+    fn rescheduled_event_fires_only_at_the_new_deadline() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancelable(SimTime(10), dummy(1));
+        q.schedule(SimTime(15), dummy(2));
+        // Push the deadline later: the old slot must not fire at t=10.
+        assert!(q.reschedule(h, SimTime(30)));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| (t.0, tag_of(&e)))
+            .collect();
+        assert_eq!(order, vec![(15, 2), (30, 1)]);
+    }
+
+    #[test]
+    fn reschedule_can_pull_a_deadline_earlier() {
+        let mut q = EventQueue::new();
+        for tag in 0..16 {
+            q.schedule(SimTime(100 + tag), dummy(tag));
+        }
+        let h = q.schedule_cancelable(SimTime(500), dummy(99));
+        assert!(q.reschedule(h, SimTime(1)));
+        assert_eq!(q.pop().map(|(t, e)| (t.0, tag_of(&e))), Some((1, 99)));
+    }
+
+    #[test]
+    fn reschedule_orders_like_a_fresh_schedule_within_a_timestamp() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancelable(SimTime(10), dummy(1));
+        q.schedule(SimTime(10), dummy(2));
+        // Rescheduling to the same timestamp re-enters at the back of the
+        // tie order, as a cancel + schedule pair would.
+        assert!(q.reschedule(h, SimTime(10)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tag_of(&e))
+            .collect();
+        assert_eq!(order, vec![2, 1]);
+    }
+
+    #[test]
+    fn handles_go_stale_once_fired_and_survive_slot_reuse() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancelable(SimTime(10), dummy(1));
+        q.pop();
+        assert!(!q.is_live(h));
+        assert!(!q.reschedule(h, SimTime(50)));
+        assert!(q.cancel(h).is_none());
+        // The freed slot is recycled for a new event; the old handle must
+        // not reach it.
+        let h2 = q.schedule_cancelable(SimTime(20), dummy(2));
+        assert!(q.is_live(h2));
+        assert!(!q.is_live(h));
+        assert!(q.cancel(h).is_none());
+        assert_eq!(q.pop().map(|(_, e)| tag_of(&e)), Some(2));
+    }
+
+    #[test]
+    fn event_mut_rewrites_a_pending_payload() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancelable(SimTime(10), dummy(1));
+        *q.event_mut(h).expect("live") = dummy(7);
+        assert_eq!(q.pop().map(|(_, e)| tag_of(&e)), Some(7));
+        assert!(q.event_mut(h).is_none(), "stale after firing");
+    }
+
+    /// Random interleaving of schedules, cancels, reschedules, and pops
+    /// against a reference model: same contract as
+    /// `randomized_interleaving_matches_reference`, with the new mutators
+    /// in the mix.
+    #[test]
+    fn randomized_cancel_reschedule_matches_reference() {
+        let mut rng = trace::SplitMix64::new(0xCA7C8);
+        let mut q = EventQueue::new();
+        // Reference: (time, order key, tag) triples; order key mirrors the
+        // fresh-seq-on-reschedule rule.
+        let mut reference: Vec<(u64, u64, u64)> = Vec::new();
+        let mut handles: Vec<(TimerHandle, u64)> = Vec::new(); // (handle, tag)
+        let mut next_tag = 0u64;
+        let mut next_key = 0u64;
+        for _ in 0..20_000 {
+            match rng.next_bounded(6) {
+                0 | 1 | 2 => {
+                    let at = q.now().0 + rng.next_bounded(50);
+                    let h = q.schedule_cancelable(SimTime(at), dummy(next_tag));
+                    reference.push((at, next_key, next_tag));
+                    handles.push((h, next_tag));
+                    next_tag += 1;
+                    next_key += 1;
+                }
+                3 if !handles.is_empty() => {
+                    let (h, tag) =
+                        handles.swap_remove(rng.next_bounded(handles.len() as u64) as usize);
+                    let live_in_ref = reference.iter().any(|&(_, _, t)| t == tag);
+                    assert_eq!(q.cancel(h).is_some(), live_in_ref);
+                    reference.retain(|&(_, _, t)| t != tag);
+                }
+                4 if !handles.is_empty() => {
+                    let idx = rng.next_bounded(handles.len() as u64) as usize;
+                    let (h, tag) = handles[idx];
+                    let at = q.now().0 + rng.next_bounded(50);
+                    let live_in_ref = reference.iter().any(|&(_, _, t)| t == tag);
+                    assert_eq!(q.reschedule(h, SimTime(at)), live_in_ref);
+                    if live_in_ref {
+                        reference.retain(|&(_, _, t)| t != tag);
+                        reference.push((at, next_key, tag));
+                        next_key += 1;
+                    }
+                }
+                _ => {
+                    if reference.is_empty() {
+                        assert!(q.pop().is_none());
+                        continue;
+                    }
+                    let (at, event) = q.pop().expect("reference non-empty");
+                    let best = reference
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &(t, key, _))| (t, key))
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    let (want_at, _, want_tag) = reference.swap_remove(best);
+                    assert_eq!((at.0, tag_of(&event)), (want_at, want_tag));
+                }
+            }
+            assert_eq!(q.len(), reference.len());
+        }
+        let mut last = q.now();
+        while let Some((at, _)) = q.pop() {
+            assert!(at >= last);
+            last = at;
+        }
+    }
+
+    /// Re-arming through one handle N times leaves exactly one pending
+    /// event — the regression this whole change exists for.
+    #[test]
+    fn rearming_repeatedly_keeps_one_pending_event() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancelable(SimTime(100), dummy(0));
+        for k in 0..1_000u64 {
+            assert!(q.reschedule(h, SimTime(100 + k)));
+            assert_eq!(q.len(), 1, "reschedule must not grow the heap");
+        }
+        assert!(q.slab.len() <= 1, "reschedule must not grow the slab");
+        assert_eq!(q.pop().map(|(t, _)| t), Some(SimTime(1099)));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -11,6 +11,29 @@ use crate::packet::FlowId;
 use crate::time::{SimDuration, SimTime};
 use trace::Summary;
 
+/// Timer lifecycle counters: how many timer events were armed, moved in
+/// place, canceled, and actually fired during a run.
+///
+/// With cancelable timer slots, `armed` counts heap insertions only — a
+/// rearm that finds a live slot moves the existing entry and bumps
+/// `rescheduled` instead. `discarded_stale` counts timer events that popped
+/// dead (the pre-handle epoch-invalidation cost); it must stay zero now
+/// that invalidation is explicit, and `scripts/check.sh` asserts that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimerChurn {
+    /// Timer events inserted into the heap (fresh slots).
+    pub armed: u64,
+    /// Rearms resolved by moving a live heap entry in place.
+    pub rescheduled: u64,
+    /// Live timers removed from the heap by an explicit cancel.
+    pub canceled: u64,
+    /// Timer events that popped and were dispatched to an agent.
+    pub fired: u64,
+    /// Timer events that popped dead and were thrown away. Always zero
+    /// since epoch-based invalidation was retired; kept as a tripwire.
+    pub discarded_stale: u64,
+}
+
 /// Metrics collected during one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimMetrics {
@@ -27,6 +50,8 @@ pub struct SimMetrics {
     failover_latencies: Vec<Vec<SimDuration>>,
     /// Number of events processed.
     pub events_processed: u64,
+    /// Timer lifecycle counters (armed / rescheduled / canceled / fired).
+    pub timer_churn: TimerChurn,
 }
 
 impl Default for SimMetrics {
@@ -37,6 +62,7 @@ impl Default for SimMetrics {
             counters: [0; Counter::COUNT],
             failover_latencies: Vec::new(),
             events_processed: 0,
+            timer_churn: TimerChurn::default(),
         }
     }
 }
@@ -207,6 +233,14 @@ mod tests {
             m.nonzero_counters(),
             vec![(Counter::ProxyNacks, 1), (Counter::PacketsLostToFault, 4)]
         );
+    }
+
+    #[test]
+    fn timer_churn_defaults_to_zero() {
+        let m = SimMetrics::default();
+        assert_eq!(m.timer_churn, TimerChurn::default());
+        assert_eq!(m.timer_churn.armed, 0);
+        assert_eq!(m.timer_churn.discarded_stale, 0);
     }
 
     #[test]

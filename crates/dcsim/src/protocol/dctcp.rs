@@ -93,6 +93,11 @@ impl CcConfig {
 /// Timer tag used by the proxy-health probe timer (failover re-probing).
 const PROBE_TAG: u64 = 0xFA11;
 
+/// Cancelable timer slot holding the retransmission timeout.
+const RTO_SLOT: u32 = 0;
+/// Cancelable timer slot holding the proxy re-probe timer.
+const PROBE_SLOT: u32 = 1;
+
 /// Configuration of proxy failover for a proxied sender.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FailoverConfig {
@@ -135,8 +140,6 @@ struct Failover {
     last_feedback: SimTime,
     /// Current re-probe interval (doubles per probe, clamped).
     probe_backoff: SimDuration,
-    /// Validity epoch of the probe timer; bumped on every path switch.
-    probe_epoch: u64,
 }
 
 /// The DCTCP-like sending endpoint of one flow.
@@ -166,8 +169,6 @@ pub struct DctcpSender {
     ever_retx: SeqSet,
     cwnd: f64,
     est: RttEstimator,
-    /// Timer validity epoch; stale timers carry an older epoch.
-    epoch: u64,
     /// EWMA of the congestion feedback delay (signal arrival − send time).
     feedback_delay: SimDuration,
     /// DCTCP α: EWMA of the fraction of marked bytes per round.
@@ -233,7 +234,6 @@ impl DctcpSender {
             ever_retx: SeqSet::new(total),
             cwnd: config.init_cwnd_bytes as f64,
             est: RttEstimator::new(config.rto),
-            epoch: 0,
             feedback_delay: config.base_feedback_delay,
             alpha: 1.0,
             round_start: SimTime::ZERO,
@@ -260,7 +260,6 @@ impl DctcpSender {
             consecutive_rtos: 0,
             last_feedback: SimTime::ZERO,
             probe_backoff: cfg.probe_backoff_max,
-            probe_epoch: 0,
         });
         self
     }
@@ -404,7 +403,7 @@ impl DctcpSender {
         if f.mode == PathMode::Direct && !pkt.direct {
             // The proxy relayed feedback again: recover the fast path.
             f.mode = PathMode::ViaProxy;
-            f.probe_epoch += 1; // Cancels the pending probe timer.
+            ctx.cancel_timer(PROBE_SLOT);
             f.probe_backoff = f.cfg.probe_backoff_max;
             ctx.count(Counter::Failbacks, 1);
         }
@@ -420,16 +419,13 @@ impl DctcpSender {
         f.consecutive_rtos += 1;
         if f.mode == PathMode::ViaProxy && f.consecutive_rtos >= f.cfg.rto_threshold {
             f.mode = PathMode::Direct;
-            f.probe_epoch += 1;
             f.probe_backoff = probe_after.min(f.cfg.probe_backoff_max);
             ctx.count(Counter::FailoverActivations, 1);
             ctx.failover_latency(self.flow, ctx.now.since(f.last_feedback));
-            ctx.arm_timer(
+            ctx.rearm_timer(
+                PROBE_SLOT,
                 ctx.now + f.probe_backoff,
-                TimerKind::Custom {
-                    tag: PROBE_TAG,
-                    epoch: f.probe_epoch,
-                },
+                TimerKind::Custom { tag: PROBE_TAG },
             );
         }
     }
@@ -437,12 +433,12 @@ impl DctcpSender {
     /// Probe timer while degraded: re-offer one sequence via the proxy
     /// (flagged `direct: false`) so proxy-path feedback, if any, proves
     /// recovery — then back off and re-arm.
-    fn on_probe_timer(&mut self, epoch: u64, ctx: &mut Ctx) {
+    fn on_probe_timer(&mut self, ctx: &mut Ctx) {
         let Some(f) = &mut self.failover else {
             return;
         };
-        if f.mode != PathMode::Direct || epoch != f.probe_epoch || self.acked.is_full() {
-            return; // Stale probe, or already recovered / done.
+        if f.mode != PathMode::Direct || self.acked.is_full() {
+            return; // Already recovered, or done.
         }
         // Seq 0 always exists; a duplicate delivery is acked like any other,
         // and the ACK's `direct: false` flag is the recovery signal. The
@@ -452,30 +448,24 @@ impl DctcpSender {
         ctx.send(self.src, pkt);
         ctx.count(Counter::ProxyProbes, 1);
         f.probe_backoff = (f.probe_backoff + f.probe_backoff).min(f.cfg.probe_backoff_max);
-        ctx.arm_timer(
+        ctx.rearm_timer(
+            PROBE_SLOT,
             ctx.now + f.probe_backoff,
-            TimerKind::Custom {
-                tag: PROBE_TAG,
-                epoch: f.probe_epoch,
-            },
+            TimerKind::Custom { tag: PROBE_TAG },
         );
     }
 
-    /// Re-arms the RTO if anything is outstanding or waiting; otherwise
-    /// cancels (by bumping the epoch).
+    /// Moves the RTO slot to `now + rto` if anything is outstanding or
+    /// waiting; otherwise cancels it.
     fn reset_timer(&mut self, ctx: &mut Ctx) {
-        self.epoch += 1;
-        if self.is_complete() {
+        if self.is_complete()
+            || (self.outstanding.is_empty() && self.rtx_queue.is_empty() && !self.sendable_new())
+        {
+            // Done, or idle waiting for grants: nothing can time out.
+            ctx.cancel_timer(RTO_SLOT);
             return;
         }
-        if self.outstanding.is_empty() && self.rtx_queue.is_empty() && !self.sendable_new() {
-            // Idle: waiting for grants; nothing can time out.
-            return;
-        }
-        ctx.arm_timer(
-            ctx.now + self.est.rto(),
-            TimerKind::Rto { epoch: self.epoch },
-        );
+        ctx.rearm_timer(RTO_SLOT, ctx.now + self.est.rto(), TimerKind::Rto);
     }
 
     fn on_ack(&mut self, pkt: &Packet, ctx: &mut Ctx) {
@@ -573,20 +563,17 @@ impl Agent for DctcpSender {
     }
 
     fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx) {
-        let epoch = match kind {
-            TimerKind::Rto { epoch } => epoch,
-            TimerKind::Custom {
-                tag: PROBE_TAG,
-                epoch,
-            } => {
-                self.on_probe_timer(epoch, ctx);
+        match kind {
+            TimerKind::Rto => {}
+            TimerKind::Custom { tag: PROBE_TAG } => {
+                self.on_probe_timer(ctx);
                 return;
             }
             TimerKind::Custom { .. } => return,
-        };
-        if epoch != self.epoch || self.is_complete() {
-            return; // Stale timer.
         }
+        // The RTO slot is canceled on completion and on idle, so a firing
+        // RTO always has work to do.
+        debug_assert!(!self.is_complete(), "RTO fired on a completed flow");
         ctx.count(Counter::RtoFires, 1);
         self.est.on_timeout();
         self.note_rto(ctx);
@@ -656,8 +643,15 @@ mod tests {
         s.on_start(&mut ctx_with(SimTime(0), &mut fx));
         // init cwnd = 4 packets.
         assert_eq!(sent_seqs(&fx), vec![0, 1, 2, 3]);
-        // And an RTO is armed.
-        assert!(fx.iter().any(|e| matches!(e, Effect::Timer { .. })));
+        // And the RTO slot is armed.
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::RearmTimer {
+                slot: RTO_SLOT,
+                kind: TimerKind::Rto,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -776,10 +770,9 @@ mod tests {
         let mut s = sender(100);
         let mut fx = Vec::new();
         s.on_start(&mut ctx_with(SimTime(0), &mut fx));
-        let epoch = s.epoch;
         fx.clear();
         let at = SimTime(SimDuration::from_millis(10).0);
-        s.on_timer(TimerKind::Rto { epoch }, &mut ctx_with(at, &mut fx));
+        s.on_timer(TimerKind::Rto, &mut ctx_with(at, &mut fx));
         assert_eq!(s.cwnd_bytes(), DATA_PKT_SIZE, "window reset to min");
         // One packet (min window) goes out, carrying a retransmitted seq.
         let seqs = sent_seqs(&fx);
@@ -795,17 +788,57 @@ mod tests {
     }
 
     #[test]
-    fn stale_timer_is_ignored() {
+    fn every_handler_rearms_or_cancels_the_rto_slot() {
+        // Each mutation path must leave the RTO slot either moved (work
+        // pending) or canceled (complete/idle) — the invariant that lets
+        // the firing path drop its staleness guard.
         let mut s = sender(100);
         let mut fx = Vec::new();
         s.on_start(&mut ctx_with(SimTime(0), &mut fx));
-        let stale = s.epoch - 1;
+        let rto_action = |fx: &[Effect]| {
+            fx.iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        Effect::RearmTimer { slot: RTO_SLOT, .. }
+                            | Effect::CancelTimer { slot: RTO_SLOT, .. }
+                    )
+                })
+                .count()
+        };
+        assert_eq!(rto_action(&fx), 1);
         fx.clear();
-        s.on_timer(
-            TimerKind::Rto { epoch: stale },
-            &mut ctx_with(SimTime(1), &mut fx),
+        let d = Packet::data(FlowId(0), 0, HostId(0), HostId(1), 0);
+        s.on_packet(
+            Packet::ack_for(&d, HostId(1)),
+            &mut ctx_with(SimTime(10), &mut fx),
         );
-        assert!(fx.is_empty(), "stale timer must be a no-op");
+        assert_eq!(rto_action(&fx), 1);
+        fx.clear();
+        s.on_timer(TimerKind::Rto, &mut ctx_with(SimTime(20_000), &mut fx));
+        assert_eq!(rto_action(&fx), 1);
+    }
+
+    #[test]
+    fn completion_cancels_the_rto_slot() {
+        let total = 4;
+        let mut s = sender(total);
+        let mut fx = Vec::new();
+        s.on_start(&mut ctx_with(SimTime(0), &mut fx));
+        for seq in 0..total {
+            fx.clear();
+            let d = Packet::data(FlowId(0), seq, HostId(0), HostId(1), 0);
+            s.on_packet(
+                Packet::ack_for(&d, HostId(1)),
+                &mut ctx_with(SimTime(1000 + seq), &mut fx),
+            );
+        }
+        assert!(s.is_complete());
+        assert!(
+            fx.iter()
+                .any(|e| matches!(e, Effect::CancelTimer { slot: RTO_SLOT, .. })),
+            "final ack must cancel the RTO slot: {fx:?}"
+        );
     }
 
     #[test]

@@ -70,6 +70,14 @@ impl RateCcConfig {
 /// PROBE_BW's 8-phase pacing-gain cycle.
 const PROBE_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
 
+/// Timer tag carried by the pacing tick.
+const PACE_TAG: u64 = 1;
+
+/// Cancelable timer slot holding the retransmission timeout.
+const RTO_SLOT: u32 = 0;
+/// Cancelable timer slot holding the pacing tick.
+const PACE_SLOT: u32 = 1;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Startup,
@@ -103,7 +111,8 @@ pub struct RateSender {
     full_bw_rounds: u32,
     phase: Phase,
     est: RttEstimator,
-    epoch: u64,
+    /// True while the pace slot holds a pending tick; lets `on_note` keep
+    /// an earlier deadline instead of pushing it out.
     pace_armed: bool,
     started: bool,
     done: bool,
@@ -139,7 +148,6 @@ impl RateSender {
             full_bw_rounds: 0,
             phase: Phase::Startup,
             est: RttEstimator::new(config.rto),
-            epoch: 0,
             pace_armed: false,
             started: false,
             done: false,
@@ -275,7 +283,6 @@ impl RateSender {
                 ctx.send(self.src, pkt);
             }
         }
-        self.arm_pace(ctx);
         self.arm_rto(ctx);
     }
 
@@ -290,28 +297,28 @@ impl RateSender {
         let rate = self.pacing_rate();
         let gap = rate.serialize_time(DATA_PKT_SIZE);
         self.pace_armed = true;
-        ctx.arm_timer(
+        ctx.rearm_timer(
+            PACE_SLOT,
             ctx.now + gap,
-            TimerKind::Custom {
-                tag: 1,
-                epoch: self.epoch,
-            },
+            TimerKind::Custom { tag: PACE_TAG },
         );
     }
 
+    /// Re-anchors both timer slots at `now`: the RTO moves to `now + rto`
+    /// (or is canceled when nothing is outstanding) and the pace tick is
+    /// re-armed from scratch at the current rate.
     fn arm_rto(&mut self, ctx: &mut Ctx) {
-        self.epoch += 1;
-        self.pace_armed = false; // pace timers from older epochs are stale
         if self.is_complete() || self.outstanding.is_empty() {
-            // Re-arm pacing under the fresh epoch if work remains.
-            self.arm_pace(ctx);
-            return;
+            ctx.cancel_timer(RTO_SLOT);
+        } else {
+            ctx.rearm_timer(RTO_SLOT, ctx.now + self.est.rto(), TimerKind::Rto);
         }
-        ctx.arm_timer(
-            ctx.now + self.est.rto(),
-            TimerKind::Rto { epoch: self.epoch },
-        );
+        self.pace_armed = false;
         self.arm_pace(ctx);
+        if !self.pace_armed {
+            // No work to pace: drop any tick still pending from before.
+            ctx.cancel_timer(PACE_SLOT);
+        }
     }
 }
 
@@ -339,7 +346,9 @@ impl Agent for RateSender {
                 self.advance_round_if_due(ctx.now);
                 if self.is_complete() {
                     self.done = true;
-                    self.epoch += 1; // cancel timers
+                    self.pace_armed = false;
+                    ctx.cancel_timer(RTO_SLOT);
+                    ctx.cancel_timer(PACE_SLOT);
                     return;
                 }
             }
@@ -359,8 +368,11 @@ impl Agent for RateSender {
 
     fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx) {
         match kind {
-            TimerKind::Custom { tag: 1, epoch } if epoch == self.epoch => self.pace_tick(ctx),
-            TimerKind::Rto { epoch } if epoch == self.epoch && !self.done => {
+            TimerKind::Custom { tag: PACE_TAG } => self.pace_tick(ctx),
+            TimerKind::Rto => {
+                // Both slots are canceled on completion, so a firing timer
+                // is always current.
+                debug_assert!(!self.done, "RTO fired on a completed flow");
                 ctx.count(Counter::RtoFires, 1);
                 self.est.on_timeout();
                 for seq in self.outstanding.drain_to_vec() {
@@ -370,7 +382,7 @@ impl Agent for RateSender {
                 }
                 self.arm_rto(ctx);
             }
-            _ => {} // stale
+            TimerKind::Custom { .. } => {}
         }
     }
 

@@ -175,5 +175,69 @@ mod tests {
         let s = SeqSet::new(0);
         assert!(s.is_full());
         assert!(s.is_empty());
+        assert_eq!(s.capacity(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn capacity_not_a_multiple_of_64() {
+        // 70 seqs span two words with the second only partially used; the
+        // set must fill exactly at 70 members and reject seq 70.
+        let mut s = SeqSet::new(70);
+        for seq in 0..70 {
+            assert!(s.insert(seq));
+            assert_eq!(s.is_full(), seq == 69, "full only at the last seq");
+        }
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        s.remove(64);
+        assert!(!s.is_full());
+        assert!(s.insert(64));
+        assert!(s.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn first_seq_past_partial_word_panics() {
+        SeqSet::new(70).insert(70);
+    }
+
+    #[test]
+    fn iter_at_word_boundaries() {
+        // Members hugging every edge of the first three words, in a set
+        // whose capacity ends mid-word.
+        let mut s = SeqSet::new(130);
+        let members = [0u64, 1, 62, 63, 64, 65, 126, 127, 128, 129];
+        for &seq in members.iter().rev() {
+            s.insert(seq);
+        }
+        let v: Vec<u64> = s.iter().collect();
+        assert_eq!(v, members);
+    }
+
+    #[test]
+    fn drain_to_vec_at_word_boundaries() {
+        let mut s = SeqSet::new(130);
+        for seq in [63, 64, 127, 128, 129] {
+            s.insert(seq);
+        }
+        assert_eq!(s.drain_to_vec(), vec![63, 64, 127, 128, 129]);
+        assert!(s.is_empty());
+        assert_eq!(s.drain_to_vec(), Vec::<u64>::new(), "second drain empty");
+        // The set is reusable after a drain.
+        assert!(s.insert(128));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![128]);
+    }
+
+    #[test]
+    fn exactly_one_word() {
+        let mut s = SeqSet::new(64);
+        for seq in 0..64 {
+            s.insert(seq);
+        }
+        assert!(s.is_full());
+        assert_eq!(s.iter().count(), 64);
+        assert_eq!(s.drain_to_vec().len(), 64);
+        assert!(!s.is_full());
     }
 }

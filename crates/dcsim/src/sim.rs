@@ -2,7 +2,7 @@
 //! forwarding with packet spraying, and agent dispatch.
 
 use crate::agent::{Agent, Counter, Ctx, Effect};
-use crate::events::{Event, EventQueue, FaultEvent};
+use crate::events::{Event, EventQueue, FaultEvent, TimerHandle};
 use crate::faults::{FaultError, FaultPlan};
 use crate::metrics::SimMetrics;
 use crate::packet::{AgentId, FlowId, HostId, NodeId, Packet, PacketKind, PortId};
@@ -71,6 +71,11 @@ pub struct Simulator {
     impairments: Vec<(f64, f64)>,
     /// Per-agent crash flags; indexed like `agents`, grown lazily.
     crashed: Vec<bool>,
+    /// Per-agent cancelable timer slots, indexed `[agent][slot]`; grown
+    /// lazily. Each entry is the handle of the slot's pending heap event —
+    /// possibly stale once the timer fires, which the handle's generation
+    /// tag detects on the next rearm/cancel.
+    timer_slots: Vec<Vec<Option<TimerHandle>>>,
     /// Dedicated RNG stream for impairment draws, separate from the
     /// spraying/ECN stream so fault plans never perturb routing draws.
     fault_rng: SplitMix64,
@@ -102,6 +107,7 @@ impl Simulator {
             link_down: vec![false; port_count],
             impairments: vec![(0.0, 0.0); port_count],
             crashed: Vec::new(),
+            timer_slots: Vec::new(),
             fault_rng: SplitMix64::new(derive_seed(seed, 0xFA_0175)),
         }
     }
@@ -288,6 +294,7 @@ impl Simulator {
                     self.try_start_tx(now, port);
                 }
                 Event::Timer { agent, kind } => {
+                    self.metrics.timer_churn.fired += 1;
                     self.dispatch(now, agent, |a, ctx| a.on_timer(kind, ctx));
                 }
                 Event::FlowStart { agent } => {
@@ -316,7 +323,22 @@ impl Simulator {
                     self.crashed.resize(self.agents.len(), false);
                 }
                 self.crashed[agent.index()] = true;
-                self.agents[agent.index()].on_crash();
+                // `dispatch` skips crashed agents, but the crash handler
+                // itself must still run (to drop soft state and cancel
+                // timer slots), so build its context by hand.
+                let mut effects = self.effects_pool.pop().unwrap_or_default();
+                debug_assert!(effects.is_empty());
+                {
+                    let mut ctx = Ctx {
+                        now,
+                        self_id: agent,
+                        effects: &mut effects,
+                    };
+                    self.agents[agent.index()].on_crash(&mut ctx);
+                }
+                self.apply_effects(now, &mut effects);
+                effects.clear();
+                self.effects_pool.push(effects);
             }
             FaultEvent::AgentRestore { agent } => {
                 if let Some(flag) = self.crashed.get_mut(agent.index()) {
@@ -481,6 +503,24 @@ impl Simulator {
         self.effects_pool.push(effects);
     }
 
+    /// The `[agent][slot]` cancelable-timer entry, growing both levels
+    /// lazily. A free function over the field (not `&mut self`) so callers
+    /// can hold the entry while also borrowing `self.events`.
+    fn slot_entry(
+        timer_slots: &mut Vec<Vec<Option<TimerHandle>>>,
+        agent: AgentId,
+        slot: u32,
+    ) -> &mut Option<TimerHandle> {
+        if timer_slots.len() <= agent.index() {
+            timer_slots.resize_with(agent.index() + 1, Vec::new);
+        }
+        let slots = &mut timer_slots[agent.index()];
+        if slots.len() <= slot as usize {
+            slots.resize(slot as usize + 1, None);
+        }
+        &mut slots[slot as usize]
+    }
+
     fn apply_effects(&mut self, now: SimTime, effects: &mut Vec<Effect>) {
         // Effects can nest (a Notify handler emits more effects), so move
         // the buffer out while iterating; nested dispatches use their own
@@ -509,6 +549,43 @@ impl Simulator {
                 }
                 Effect::Timer { agent, at, kind } => {
                     self.events.schedule(at, Event::Timer { agent, kind });
+                    self.metrics.timer_churn.armed += 1;
+                }
+                Effect::RearmTimer {
+                    agent,
+                    slot,
+                    at,
+                    kind,
+                } => {
+                    let entry = Self::slot_entry(&mut self.timer_slots, agent, slot);
+                    // Move the live heap entry in place when the slot still
+                    // holds one; otherwise (first arm, or the timer already
+                    // fired) insert fresh and remember the new handle.
+                    let moved = match *entry {
+                        Some(h) if self.events.reschedule(h, at) => {
+                            *self.events.event_mut(h).expect("live: just rescheduled") =
+                                Event::Timer { agent, kind };
+                            true
+                        }
+                        _ => false,
+                    };
+                    if moved {
+                        self.metrics.timer_churn.rescheduled += 1;
+                    } else {
+                        *entry = Some(
+                            self.events
+                                .schedule_cancelable(at, Event::Timer { agent, kind }),
+                        );
+                        self.metrics.timer_churn.armed += 1;
+                    }
+                }
+                Effect::CancelTimer { agent, slot } => {
+                    let entry = Self::slot_entry(&mut self.timer_slots, agent, slot);
+                    if let Some(h) = entry.take() {
+                        if self.events.cancel(h).is_some() {
+                            self.metrics.timer_churn.canceled += 1;
+                        }
+                    }
                 }
                 Effect::Notify { agent, note } => {
                     self.dispatch(now, agent, |a, ctx| a.on_note(note, ctx));
@@ -598,7 +675,7 @@ mod dispatch_tests {
             self.started_at.store(ctx.now.0, Ordering::Relaxed);
             ctx.arm_timer(
                 ctx.now + SimDuration::from_micros(5),
-                TimerKind::Custom { tag: 7, epoch: 0 },
+                TimerKind::Custom { tag: 7 },
             );
             if let Some(peer) = self.peer {
                 ctx.notify(peer, Note::PacketsGranted { count: 3 });
@@ -656,6 +733,77 @@ mod dispatch_tests {
         sim.schedule_start(SimTime::ZERO, sender);
         sim.run(None);
         assert_eq!(notified.load(Ordering::Relaxed), 3);
+    }
+
+    /// An agent that re-arms one timer slot on every firing for a fixed
+    /// number of rounds, then cancels a second, never-firing slot.
+    struct Rearmer {
+        rounds_left: u64,
+        fired: Arc<AtomicU64>,
+    }
+
+    impl Agent for Rearmer {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            // Slot 1 is armed once and canceled before it can ever fire.
+            ctx.rearm_timer(1, ctx.now + SimDuration::from_secs(1), TimerKind::Rto);
+            ctx.rearm_timer(
+                0,
+                ctx.now + SimDuration::from_micros(1),
+                TimerKind::Custom { tag: 1 },
+            );
+            // Re-arm slot 0 many times within one handler: only the last
+            // deadline may fire.
+            for k in 2..100u64 {
+                ctx.rearm_timer(
+                    0,
+                    ctx.now + SimDuration::from_micros(k),
+                    TimerKind::Custom { tag: k },
+                );
+            }
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx) {}
+        fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx) {
+            let TimerKind::Custom { tag } = kind else {
+                panic!("slot 1 was canceled and must never fire");
+            };
+            assert_eq!(tag, 99, "only the last re-arm's payload may fire");
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                ctx.rearm_timer(
+                    0,
+                    ctx.now + SimDuration::from_micros(99),
+                    TimerKind::Custom { tag: 99 },
+                );
+            } else {
+                ctx.cancel_timer(1);
+            }
+        }
+    }
+
+    #[test]
+    fn rearmed_slot_fires_once_per_round_at_the_latest_deadline() {
+        let mut sim = Simulator::new(two_dc_leaf_spine(&TwoDcParams::small_test()), 1);
+        let fired = Arc::new(AtomicU64::new(0));
+        let agent = sim.add_agent(Box::new(Rearmer {
+            rounds_left: 9,
+            fired: fired.clone(),
+        }));
+        sim.schedule_start(SimTime::ZERO, agent);
+        let report = sim.run(None);
+        assert_eq!(report.stop, crate::sim::StopReason::Idle);
+        assert_eq!(fired.load(Ordering::Relaxed), 10, "one firing per round");
+        let churn = sim.metrics().timer_churn;
+        // Slot 0: 1 fresh arm, 98 in-place moves in `on_start`, and one
+        // fresh arm per firing round (the old handle is stale once the
+        // timer pops). Slot 1: 1 fresh arm, canceled at the end.
+        assert_eq!(churn.armed, 2 + 9);
+        assert_eq!(churn.rescheduled, 98);
+        assert_eq!(churn.canceled, 1);
+        assert_eq!(churn.fired, 10);
+        assert_eq!(churn.discarded_stale, 0);
+        // 1 start + 10 timer pops; the 107 re-arms added no heap traffic.
+        assert_eq!(sim.metrics().events_processed, 11);
     }
 
     /// A delayed send (`send_after`) must reach the destination later than

@@ -26,6 +26,9 @@ cargo bench --workspace "${OFFLINE[@]}" --no-run
 echo "== determinism regression (parallel sweep == serial sweep)"
 cargo test -p bench "${OFFLINE[@]}" --test sweep_determinism -q
 
+echo "== timer-slot regression (bit-identical goldens, zero stale timer pops)"
+cargo test "${OFFLINE[@]}" --test timer_identity -q
+
 echo "== cargo test"
 cargo test --workspace "${OFFLINE[@]}" -q
 

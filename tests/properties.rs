@@ -23,7 +23,7 @@ proptest! {
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime(t), Event::Timer {
                 agent: AgentId(i as u32),
-                kind: TimerKind::Rto { epoch: 0 },
+                kind: TimerKind::Rto,
             });
         }
         let mut last: Option<(SimTime, u32)> = None;

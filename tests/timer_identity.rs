@@ -1,0 +1,149 @@
+//! Regression tests for the cancelable-timer-slot rework.
+//!
+//! The conversion from epoch-invalidated timers to indexed cancel /
+//! reschedule-in-place must be *semantically invisible*: only the latest
+//! armed deadline ever fired before, so flow-completion times and queue
+//! traces have to come out bit-identical — the only observable change is
+//! fewer events processed (no stale pops) and a smaller heap. The golden
+//! values below were captured from the epoch-based implementation
+//! immediately before the conversion; any drift is a correctness bug, not
+//! noise.
+
+use dcsim::prelude::*;
+use incast_core::scheme::Transport;
+use incast_core::{install_incast, ExperimentConfig, Scheme};
+
+/// Per-flow completion times, an FNV-1a hash of the receiver down-ToR
+/// occupancy trace, and the events processed for one small-config run.
+fn run_traced(config: &ExperimentConfig, seed: u64) -> (Vec<u64>, u64, u64) {
+    let params = config
+        .topo
+        .with_trim(config.trim.enabled_for(config.scheme));
+    let topo = two_dc_leaf_spine(&params);
+    let mut sim = Simulator::new(topo, seed);
+    let spec = config.placement(sim.topology());
+    let port = sim.topology().down_tor_port(spec.receiver);
+    sim.trace_port(port);
+    let handle = install_incast(&mut sim, &spec, config.scheme);
+    let limit = spec.start + config.time_limit;
+    let report = sim.run(Some(limit));
+    assert!(report.stop != StopReason::EventCap, "event cap");
+    let churn = sim.metrics().timer_churn;
+    assert_eq!(
+        churn.discarded_stale, 0,
+        "no timer event may pop dead after the rework"
+    );
+    assert!(churn.rescheduled > 0, "senders must move RTOs in place");
+    assert!(
+        churn.fired <= churn.armed,
+        "every firing timer was once armed: {churn:?}"
+    );
+    assert_eq!(
+        churn.armed,
+        churn.fired + churn.canceled,
+        "armed timers either fire or are canceled by idle: {churn:?}"
+    );
+    let fcts: Vec<u64> = handle
+        .watch_flows
+        .iter()
+        .map(|f| sim.metrics().completion(*f).expect("flow completed").0)
+        .collect();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &(t, b) in sim.port_trace(port) {
+        for v in [t.0, b] {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    (fcts, h, sim.metrics().events_processed)
+}
+
+fn windowed_config(scheme: Scheme) -> ExperimentConfig {
+    ExperimentConfig {
+        topo: TwoDcParams::small_test(),
+        scheme,
+        degree: 3,
+        total_bytes: 2_000_000,
+        seed: 42,
+        ..Default::default()
+    }
+}
+
+fn rate_config(scheme: Scheme) -> ExperimentConfig {
+    ExperimentConfig {
+        transport: Transport::RateBased,
+        ..windowed_config(scheme)
+    }
+}
+
+/// One golden row: (config, expected FCTs, expected trace hash, events
+/// processed by the *epoch-based* implementation). FCTs and hashes must
+/// match exactly; the event count must come in strictly below the old one.
+fn check(config: &ExperimentConfig, want_fcts: &[u64], want_hash: u64, old_events: u64) {
+    let (fcts, hash, events) = run_traced(config, 42);
+    assert_eq!(fcts, want_fcts, "FCT drift under {:?}", config.scheme);
+    assert_eq!(
+        hash, want_hash,
+        "queue-trace drift under {:?}",
+        config.scheme
+    );
+    assert!(
+        events < old_events,
+        "{:?}: {events} events, expected strictly fewer than the \
+         epoch-based implementation's {old_events}",
+        config.scheme
+    );
+}
+
+#[test]
+fn windowed_schemes_are_bit_identical_to_pre_rework_goldens() {
+    check(
+        &windowed_config(Scheme::Baseline),
+        &[372_000_000, 371_880_000, 371_640_000],
+        0x5366c312027f8b01,
+        34_878,
+    );
+    check(
+        &windowed_config(Scheme::ProxyNaive),
+        &[383_622_400, 379_662_400, 383_262_400],
+        0x0e452dd942163a81,
+        59_988,
+    );
+    check(
+        &windowed_config(Scheme::ProxyStreamlined),
+        &[376_660_000, 376_780_000, 376_900_000],
+        0x5b3b8dfb27605a01,
+        59_988,
+    );
+    check(
+        &windowed_config(Scheme::ProxyDetecting),
+        &[377_831_200, 378_071_200, 378_191_200],
+        0x6f81574b5c042fe5,
+        67_017,
+    );
+}
+
+#[test]
+fn rate_based_schemes_are_bit_identical_to_pre_rework_goldens() {
+    check(
+        &rate_config(Scheme::Baseline),
+        &[483_120_000, 483_360_000, 483_240_000],
+        0xe4d396e545e6e901,
+        39_054,
+    );
+    check(
+        &rate_config(Scheme::ProxyStreamlined),
+        &[488_020_000, 488_140_000, 488_260_000],
+        0x11a2e4f818244e01,
+        64_164,
+    );
+}
+
+/// Two identical configs must produce identical runs — the timer-slot
+/// machinery (slab reuse, generation tags) introduces no hidden state.
+#[test]
+fn timer_slots_preserve_determinism() {
+    let a = run_traced(&windowed_config(Scheme::ProxyStreamlined), 42);
+    let b = run_traced(&windowed_config(Scheme::ProxyStreamlined), 42);
+    assert_eq!(a, b);
+}
