@@ -51,6 +51,7 @@ fn lower_bound_cdf(samples: usize) -> Cdf {
             2 => &ack,
             _ => &data,
         };
+        // simlint: allow(wall-clock) — measures real eBPF-datapath decision latency
         let start = Instant::now();
         let action = decide(wire);
         let nanos = start.elapsed().as_nanos() as u64;

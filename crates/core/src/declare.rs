@@ -21,11 +21,11 @@
 
 use crate::orchestrator::{IncastRequest, ProxySelector};
 use crate::predict::{predict, IncastProfile};
+use dcsim::det::DetMap;
 use dcsim::packet::HostId;
 use dcsim::time::{Bandwidth, SimDuration, PS_PER_US};
 use dcsim::topology::Topology;
 use serde::Serialize;
-use std::collections::HashMap;
 
 /// A logical application component (the unit of placement).
 pub type Component = String;
@@ -207,7 +207,7 @@ pub struct PlannedIncast {
 /// to reroute through a proxy (allocated via `selector`).
 pub fn compile(
     decls: &[IncastDecl],
-    placement: &HashMap<Component, HostId>,
+    placement: &DetMap<Component, HostId>,
     topo: &Topology,
     selector: &mut dyn ProxySelector,
 ) -> Result<Vec<PlannedIncast>, PlanError> {
@@ -302,11 +302,11 @@ mod tests {
             .unwrap()
     }
 
-    fn setup() -> (Topology, HashMap<Component, HostId>, GlobalOrchestrator) {
+    fn setup() -> (Topology, DetMap<Component, HostId>, GlobalOrchestrator) {
         let topo = two_dc_leaf_spine(&TwoDcParams::default());
         let dc0 = topo.hosts_in_dc(0);
         let dc1 = topo.hosts_in_dc(1);
-        let placement: HashMap<Component, HostId> = [
+        let placement: DetMap<Component, HostId> = [
             ("a".to_string(), dc0[0]),
             ("b".to_string(), dc0[1]),
             ("c".to_string(), dc0[2]),

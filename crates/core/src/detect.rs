@@ -13,9 +13,9 @@
 //!   window of per-bin byte counts finds the dominant period, so the
 //!   operator can *pre-arm* the proxy route before the next burst.
 
+use dcsim::det::DetMap;
 use dcsim::packet::HostId;
 use serde::Serialize;
-use std::collections::HashMap;
 
 /// Configuration of the instantaneous incast-signature detector.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -51,7 +51,7 @@ pub struct IncastSignature {
 pub struct IncastSignatureDetector {
     config: SignatureConfig,
     /// Per-destination accumulation for the current bin.
-    bins: HashMap<HostId, HashMap<HostId, u64>>,
+    bins: DetMap<HostId, DetMap<HostId, u64>>,
 }
 
 impl IncastSignatureDetector {
@@ -59,7 +59,7 @@ impl IncastSignatureDetector {
     pub fn new(config: SignatureConfig) -> Self {
         IncastSignatureDetector {
             config,
-            bins: HashMap::new(),
+            bins: DetMap::new(),
         }
     }
 
@@ -69,10 +69,10 @@ impl IncastSignatureDetector {
     }
 
     /// Closes the current bin: returns every destination matching the
-    /// incast signature and resets the bin state.
+    /// incast signature (in destination order — `DetMap::drain` yields key
+    /// order, no sort needed) and resets the bin state.
     pub fn end_bin(&mut self) -> Vec<IncastSignature> {
-        let mut out: Vec<IncastSignature> = self
-            .bins
+        self.bins
             .drain()
             .filter_map(|(dst, sources)| {
                 let degree = sources.len();
@@ -85,9 +85,7 @@ impl IncastSignatureDetector {
                     },
                 )
             })
-            .collect();
-        out.sort_by_key(|s| s.destination);
-        out
+            .collect()
     }
 }
 

@@ -19,9 +19,9 @@
 //! spraying-induced reordering to answer the paper's question of how many
 //! false positives/negatives the constrained detector incurs.
 
+use dcsim::det::DetMap;
 use dcsim::packet::FlowId;
 use serde::Serialize;
-use std::collections::HashMap;
 
 /// Configuration of the reorder-tolerant detector.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -131,12 +131,12 @@ struct Declared {
 #[derive(Debug)]
 pub struct LossDetector {
     config: LossDetectorConfig,
-    flows: HashMap<FlowId, FlowState>,
+    flows: DetMap<FlowId, FlowState>,
     stats: LossDetectorStats,
     /// Sequences already declared lost, kept (bounded) to recognize false
     /// positives when the "lost" packet shows up after all, and to drive
     /// the retransmission watchdog.
-    declared: HashMap<FlowId, Vec<Declared>>,
+    declared: DetMap<FlowId, Vec<Declared>>,
 }
 
 impl LossDetector {
@@ -149,9 +149,9 @@ impl LossDetector {
         assert!(config.max_pending > 0, "zero pending capacity");
         LossDetector {
             config,
-            flows: HashMap::new(),
+            flows: DetMap::new(),
             stats: LossDetectorStats::default(),
-            declared: HashMap::new(),
+            declared: DetMap::new(),
         }
     }
 

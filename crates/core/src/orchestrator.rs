@@ -14,9 +14,9 @@
 //!   (power-of-k-choices) and claims the least loaded; claims can conflict
 //!   under stale views, counted and retried.
 
+use dcsim::det::DetMap;
 use dcsim::packet::HostId;
 use serde::Serialize;
-use std::collections::HashMap;
 use trace::SplitMix64;
 
 /// A request to allocate a proxy for one incast.
@@ -75,9 +75,9 @@ pub struct GlobalOrchestrator {
     /// Candidate proxy hosts (all in the sending datacenter).
     candidates: Vec<HostId>,
     /// Load per candidate (bytes across active incasts).
-    load: HashMap<HostId, u64>,
+    load: DetMap<HostId, u64>,
     /// Active assignment per incast id.
-    active: HashMap<u64, (HostId, u64)>,
+    active: DetMap<u64, (HostId, u64)>,
     /// Candidates reported unhealthy; excluded until reported healthy.
     unhealthy: Vec<HostId>,
 }
@@ -97,7 +97,7 @@ impl GlobalOrchestrator {
         GlobalOrchestrator {
             candidates,
             load,
-            active: HashMap::new(),
+            active: DetMap::new(),
             unhealthy: Vec::new(),
         }
     }
@@ -162,8 +162,8 @@ impl ProxySelector for GlobalOrchestrator {
 #[derive(Debug, Clone)]
 pub struct DecentralizedSelector {
     candidates: Vec<HostId>,
-    load: HashMap<HostId, u64>,
-    active: HashMap<u64, (HostId, u64)>,
+    load: DetMap<HostId, u64>,
+    active: DetMap<u64, (HostId, u64)>,
     /// Number of candidates probed per trial (power of k choices).
     probes_per_trial: usize,
     /// Probability that a concurrent claim races ours.
@@ -185,7 +185,7 @@ impl DecentralizedSelector {
         DecentralizedSelector {
             candidates,
             load,
-            active: HashMap::new(),
+            active: DetMap::new(),
             probes_per_trial,
             conflict_probability: 0.0,
             rng: SplitMix64::new(seed),

@@ -24,10 +24,10 @@
 
 use crate::lossdetect::{LossDetector, LossDetectorConfig};
 use dcsim::agent::{Agent, Counter, Ctx};
+use dcsim::det::DetMap;
 use dcsim::events::TimerKind;
 use dcsim::packet::{FlowId, HostId, Packet, PacketKind};
 use dcsim::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Cancelable timer slot holding the quiescence sweep timer.
 const SWEEP_SLOT: u32 = 0;
@@ -43,7 +43,7 @@ struct FlowDirs {
 /// losses. Works on drop-tail networks (no trimming support needed).
 pub struct DetectingProxy {
     host: HostId,
-    flows: HashMap<FlowId, FlowDirs>,
+    flows: DetMap<FlowId, FlowDirs>,
     detector: LossDetector,
     processing_delay: SimDuration,
     /// Quiescence sweep period (the eBPF-timer analogue): a flow with
@@ -52,7 +52,7 @@ pub struct DetectingProxy {
     /// which pure gap counting cannot see.
     sweep_interval: SimDuration,
     /// Last data observation per flow.
-    last_seen: HashMap<FlowId, SimTime>,
+    last_seen: DetMap<FlowId, SimTime>,
     /// True while the sweep slot holds a pending timer.
     timer_armed: bool,
 }
@@ -62,11 +62,11 @@ impl DetectingProxy {
     pub fn new(host: HostId, processing_delay: SimDuration, config: LossDetectorConfig) -> Self {
         DetectingProxy {
             host,
-            flows: HashMap::new(),
+            flows: DetMap::new(),
             detector: LossDetector::new(config),
             processing_delay,
             sweep_interval: SimDuration::from_micros(50),
-            last_seen: HashMap::new(),
+            last_seen: DetMap::new(),
             timer_armed: false,
         }
     }
@@ -131,11 +131,9 @@ impl Agent for DetectingProxy {
         };
         self.timer_armed = false;
         let mut any_state = false;
-        // Sweep flows in id order: HashMap iteration order varies per
-        // process, and the NACK emission order decides event scheduling
-        // order — unsorted, identical runs diverge.
-        let mut flows: Vec<FlowId> = self.flows.keys().copied().collect();
-        flows.sort_unstable();
+        // NACK emission order decides event scheduling order; DetMap
+        // iterates in flow-id order, so identical runs stay identical.
+        let flows: Vec<FlowId> = self.flows.keys().copied().collect();
         for flow in flows {
             if !self.detector.has_state(flow) {
                 continue;

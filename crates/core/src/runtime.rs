@@ -20,10 +20,10 @@
 use crate::detect::{IncastSignatureDetector, PeriodicityDetector, SignatureConfig};
 use crate::orchestrator::{IncastRequest, ProxySelector};
 use crate::predict::{predict, IncastProfile};
+use dcsim::det::DetMap;
 use dcsim::packet::HostId;
 use dcsim::time::{Bandwidth, SimDuration};
 use serde::Serialize;
-use std::collections::HashMap;
 
 /// Static context the runtime needs about the deployment.
 #[derive(Debug, Clone, Copy)]
@@ -97,16 +97,16 @@ pub struct OperatorRuntime<S: ProxySelector> {
     config: RuntimeConfig,
     signature: IncastSignatureDetector,
     /// Per-destination byte history for periodicity analysis.
-    periodicity: HashMap<HostId, PeriodicityDetector>,
+    periodicity: DetMap<HostId, PeriodicityDetector>,
     /// Per-destination bytes in the current epoch (kept alongside the
     /// signature detector, which consumes its bins).
-    epoch_bytes: HashMap<HostId, u64>,
+    epoch_bytes: DetMap<HostId, u64>,
     /// Sources seen per destination this epoch (for the reroute request).
-    epoch_sources: HashMap<HostId, Vec<HostId>>,
+    epoch_sources: DetMap<HostId, Vec<HostId>>,
     /// Datacenter lookup for hosts.
     dc_of: fn(HostId) -> u32,
     selector: S,
-    active: HashMap<HostId, ActiveReroute>,
+    active: DetMap<HostId, ActiveReroute>,
     next_request_id: u64,
     epoch: u64,
 }
@@ -123,12 +123,12 @@ impl<S: ProxySelector> OperatorRuntime<S> {
         OperatorRuntime {
             config,
             signature: IncastSignatureDetector::new(signature),
-            periodicity: HashMap::new(),
-            epoch_bytes: HashMap::new(),
-            epoch_sources: HashMap::new(),
+            periodicity: DetMap::new(),
+            epoch_bytes: DetMap::new(),
+            epoch_sources: DetMap::new(),
             dc_of,
             selector,
-            active: HashMap::new(),
+            active: DetMap::new(),
             next_request_id: 0,
             epoch: 0,
         }
@@ -159,10 +159,12 @@ impl<S: ProxySelector> OperatorRuntime<S> {
         self.epoch += 1;
         let mut actions = Vec::new();
         let incasts = self.signature.end_bin();
-        let flagged: HashMap<HostId, usize> =
+        let flagged: DetMap<HostId, usize> =
             incasts.iter().map(|s| (s.destination, s.degree)).collect();
 
-        // Periodicity bookkeeping for every destination we ever saw.
+        // Periodicity bookkeeping for every destination we ever saw:
+        // active destinations push their epoch bytes, quiet ones a zero
+        // (their series must still age for autocorrelation).
         let history = self.config.history_epochs;
         for (&dst, &bytes) in &self.epoch_bytes {
             self.periodicity
@@ -170,17 +172,9 @@ impl<S: ProxySelector> OperatorRuntime<S> {
                 .or_insert_with(|| PeriodicityDetector::new(history))
                 .push(bytes);
         }
-        for (&dst, detector) in &self.periodicity {
-            if self.epoch_bytes.contains_key(&dst) {
-                continue; // pushed above
-            }
-            let _ = detector; // quiet destinations still age below
-        }
-        // Quiet destinations contribute zero-byte epochs to their series.
-        let seen: Vec<HostId> = self.periodicity.keys().copied().collect();
-        for dst in seen {
-            if !self.epoch_bytes.contains_key(&dst) {
-                self.periodicity.get_mut(&dst).expect("key exists").push(0);
+        for (dst, detector) in self.periodicity.iter_mut() {
+            if !self.epoch_bytes.contains_key(dst) {
+                detector.push(0);
             }
         }
 

@@ -599,7 +599,7 @@ mod tests {
         let mut next_key = 0u64;
         for _ in 0..20_000 {
             match rng.next_bounded(6) {
-                0 | 1 | 2 => {
+                0..=2 => {
                     let at = q.now().0 + rng.next_bounded(50);
                     let h = q.schedule_cancelable(SimTime(at), dummy(next_tag));
                     reference.push((at, next_key, next_tag));

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod agent;
+pub mod det;
 pub mod events;
 pub mod faults;
 pub mod flows;
@@ -54,6 +55,7 @@ pub mod workload;
 /// Convenient glob-import surface for experiment and test code.
 pub mod prelude {
     pub use crate::agent::{Agent, Counter, Ctx, Effect, Note};
+    pub use crate::det::{DetMap, DetSet, SeqMap};
     pub use crate::events::{FaultEvent, TimerKind};
     pub use crate::faults::{AgentCrash, FaultError, FaultPlan, LinkWindow, PortImpairment};
     pub use crate::flows::{install_flow, FlowHandle, FlowSpec};

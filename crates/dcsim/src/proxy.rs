@@ -17,9 +17,9 @@
 //! send/receive logic — exactly the overhead the paper attributes to it).
 
 use crate::agent::{Agent, Counter, Ctx};
+use crate::det::DetMap;
 use crate::packet::{FlowId, HostId, Packet, PacketKind};
 use crate::time::SimDuration;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Why a proxy rejected a flow registration.
@@ -53,7 +53,7 @@ pub struct ProxiedFlow {
 /// The Streamlined proxy: trim-aware forwarding with early NACKs.
 pub struct StreamlinedProxy {
     host: HostId,
-    flows: HashMap<FlowId, ProxiedFlow>,
+    flows: DetMap<FlowId, ProxiedFlow>,
     /// Per-packet processing delay (models the eBPF datapath, Fig. 5a).
     processing_delay: SimDuration,
     /// When false, trimmed headers are forwarded to the receiver instead
@@ -69,7 +69,7 @@ impl StreamlinedProxy {
     pub fn new(host: HostId, processing_delay: SimDuration) -> Self {
         StreamlinedProxy {
             host,
-            flows: HashMap::new(),
+            flows: DetMap::new(),
             processing_delay,
             early_nack: true,
         }

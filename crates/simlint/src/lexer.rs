@@ -1,0 +1,346 @@
+//! A minimal Rust lexer: just enough to separate *code tokens* from
+//! comments and string/char literals.
+//!
+//! The determinism rules are token-level ("the identifier `HashMap`
+//! appears", "`Instant` followed by `::now`"), so a full parse buys
+//! nothing — but a naive substring grep would flag rule names inside
+//! string literals (this linter's own source!) and doc comments. The
+//! lexer therefore understands exactly the constructs that can *hide*
+//! or *fake* an identifier: line and (nested) block comments, string
+//! and raw-string literals with `b`/`r`/`br`/`c` prefixes, char
+//! literals vs. lifetimes, and raw identifiers.
+//!
+//! Line comments are kept (with their line number and whether code
+//! precedes them on the line) because `// simlint: allow(...)`
+//! suppression directives live there.
+
+/// One code token the rules care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok<'a> {
+    /// An identifier or keyword.
+    Ident(&'a str),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+}
+
+/// A code token with its source position (1-indexed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned<'a> {
+    pub tok: Tok<'a>,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A `//` comment, kept for directive parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment<'a> {
+    /// Comment text after the `//`, untrimmed.
+    pub text: &'a str,
+    pub line: u32,
+    /// True when a code token precedes the comment on its line (a
+    /// trailing comment annotates its own line; a standalone one
+    /// annotates the next code line).
+    pub trailing: bool,
+}
+
+/// Lexer output: code tokens and line comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    pub tokens: Vec<Spanned<'a>>,
+    pub comments: Vec<LineComment<'a>>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`, returning code tokens and line comments.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_start = 0usize; // byte offset of the current line
+    let mut code_on_line = false;
+
+    // Byte-oriented scan; identifiers are ASCII in this codebase but
+    // multi-byte UTF-8 is skipped safely (continuation bytes never match
+    // any ASCII test below).
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+                line_start = i;
+                code_on_line = false;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (includes doc comments).
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                out.comments.push(LineComment {
+                    text: &src[start..end],
+                    line,
+                    trailing: code_on_line,
+                });
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        line_start = i + 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 1;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                i = skip_string(bytes, i, &mut line, &mut line_start);
+                code_on_line = true;
+            }
+            '\'' => {
+                // Char literal or lifetime. `'\...'` and `'x'` are
+                // literals; `'ident` (no closing quote right after) is a
+                // lifetime — consume just the quote.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    i += 2; // skip the backslash and escaped char
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\'' {
+                    i += 3; // 'x'
+                } else {
+                    i += 1; // lifetime quote; the ident lexes next
+                }
+                code_on_line = true;
+            }
+            _ if is_ident_start(c) => {
+                // Raw-string / byte-string prefixes and raw identifiers.
+                let rest = &bytes[i..];
+                if let Some(skip) = string_prefix_len(rest) {
+                    i += skip;
+                    i = skip_raw_or_plain_string(bytes, i, &mut line, &mut line_start);
+                    code_on_line = true;
+                    continue;
+                }
+                if rest.starts_with(b"r#")
+                    && rest.get(2).is_some_and(|&b| is_ident_start(b as char))
+                {
+                    i += 2; // raw identifier: lex the name itself
+                    continue;
+                }
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i] as char) {
+                    i += 1;
+                }
+                out.tokens.push(Spanned {
+                    tok: Tok::Ident(&src[start..i]),
+                    line,
+                    col: (start - line_start + 1) as u32,
+                });
+                code_on_line = true;
+            }
+            _ if c.is_ascii_digit() => {
+                // Number literal (consume suffixes like 0x1f_u64 whole so
+                // `x1f` never lexes as an identifier).
+                while i < bytes.len() && (is_ident_continue(bytes[i] as char) || bytes[i] == b'.') {
+                    i += 1;
+                }
+                code_on_line = true;
+            }
+            _ => {
+                if !c.is_whitespace() {
+                    out.tokens.push(Spanned {
+                        tok: Tok::Punct(c),
+                        line,
+                        col: (i - line_start + 1) as u32,
+                    });
+                    code_on_line = true;
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Length of a string-literal prefix (`b"`, `r"`, `br"`, `c"`, `r#"`,
+/// `br##"`, ...) at the start of `rest`, up to but not including the
+/// opening quote or `#`s — or `None` if `rest` is not a prefixed string.
+fn string_prefix_len(rest: &[u8]) -> Option<usize> {
+    let mut n = 0;
+    if rest.first() == Some(&b'b') || rest.first() == Some(&b'c') {
+        n += 1;
+    }
+    if rest.get(n) == Some(&b'r') {
+        let mut m = n + 1;
+        while rest.get(m) == Some(&b'#') {
+            m += 1;
+        }
+        if rest.get(m) == Some(&b'"') {
+            return Some(n + 1); // caller lands on the `#`s or the quote
+        }
+        return None;
+    }
+    if n > 0 && rest.get(n) == Some(&b'"') {
+        return Some(n);
+    }
+    None
+}
+
+/// Skips a plain `"..."` string starting at the opening quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32, line_start: &mut usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+                *line_start = i;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a string whose opening `#`s-or-quote starts at `i` (after any
+/// `b`/`c`/`r` prefix letters were consumed).
+fn skip_raw_or_plain_string(
+    bytes: &[u8],
+    mut i: usize,
+    line: &mut u32,
+    line_start: &mut usize,
+) -> usize {
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return i;
+    }
+    if hashes == 0 && bytes.get(i.wrapping_sub(1)) != Some(&b'r') {
+        // Plain prefixed string (b"..."): escapes apply.
+        return skip_string(bytes, i, line, line_start);
+    }
+    i += 1;
+    // Raw string: ends at `"` followed by `hashes` `#`s; no escapes.
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            *line_start = i;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let mut k = 0;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(name) => Some(name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_positions() {
+        let l = lex("let x = foo::bar;\nlet y = 2;");
+        let first = &l.tokens[0];
+        assert_eq!(first.tok, Tok::Ident("let"));
+        assert_eq!((first.line, first.col), (1, 1));
+        assert!(l.tokens.iter().any(|s| s.tok == Tok::Ident("bar")));
+        let y = l.tokens.iter().find(|s| s.tok == Tok::Ident("y")).unwrap();
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        assert_eq!(idents(r#"let s = "HashMap::new()";"#), vec!["let", "s"]);
+        assert_eq!(idents(r##"let s = r#"HashMap"#;"##), vec!["let", "s"]);
+        assert_eq!(idents(r#"let s = b"HashMap";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn comments_hide_identifiers_but_are_kept() {
+        let l = lex("// HashMap here\nlet x = 1; // trailing\n/* HashMap\n nested /* x */ */ y");
+        assert!(!l.tokens.iter().any(|s| s.tok == Tok::Ident("HashMap")));
+        assert!(l.tokens.iter().any(|s| s.tok == Tok::Ident("y")));
+        assert_eq!(l.comments.len(), 2);
+        assert!(!l.comments[0].trailing);
+        assert!(l.comments[1].trailing);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        // '"' must not open a string; 'a> is a lifetime, not a literal.
+        let l = lex("let c = '\"'; fn f<'a>(x: &'a str) {} let q = 'x';");
+        assert!(l.tokens.iter().any(|s| s.tok == Tok::Ident("str")));
+        assert!(l.tokens.iter().any(|s| s.tok == Tok::Ident("q")));
+    }
+
+    #[test]
+    fn escaped_quote_in_char() {
+        assert_eq!(
+            idents(r"let c = '\''; let d = 1;"),
+            vec!["let", "c", "let", "d"]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_name() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn numeric_suffixes_are_not_identifiers() {
+        assert_eq!(idents("let x = 0x1f_u64 + 2e10;"), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn multiline_string_tracks_lines() {
+        let l = lex("let a = \"one\ntwo\";\nlet b = 1;");
+        let b = l.tokens.iter().find(|s| s.tok == Tok::Ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

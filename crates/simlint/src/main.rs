@@ -1,0 +1,119 @@
+//! `simlint` — the workspace determinism linter.
+//!
+//! Walks every `.rs` file in the repository, applies the rules in
+//! [`rules`], and exits nonzero if any violation (or malformed/stale
+//! allow directive) is found. The surviving `simlint: allow` directives
+//! are printed as an inventory so every sanctioned exception — and its
+//! reason — shows up in CI output.
+//!
+//! Usage: `cargo run -p simlint` from anywhere in the workspace, or
+//! `simlint [root]` with an explicit root directory.
+
+mod lexer;
+mod rules;
+
+use rules::{scan_source, AllowEntry, Violation};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories never scanned, by name, at any depth.
+const SKIP_DIRS: [&str; 7] = [
+    "target",
+    ".git",
+    ".offline-stubs",
+    "results",
+    ".github",
+    ".claude",
+    "node_modules",
+];
+
+/// Workspace-relative prefixes exempt from the rules: the crates whose
+/// *job* is wall-clock I/O (the live proxy datapath and the trace/
+/// measurement tooling). Everything else is simulation path.
+const EXEMPT_PREFIXES: [&str; 2] = ["crates/netproxy/", "crates/trace/"];
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => workspace_root(),
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &mut files);
+    files.sort();
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut allows: Vec<AllowEntry> = Vec::new();
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            eprintln!("simlint: warning: unreadable file {}", path.display());
+            continue;
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let exempt = EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p));
+        let report = scan_source(&rel, &src, exempt);
+        violations.extend(report.violations);
+        allows.extend(report.allows);
+    }
+
+    for v in &violations {
+        println!("{v}");
+    }
+
+    println!(
+        "simlint: scanned {} files, {} violation(s), {} allow(s)",
+        files.len(),
+        violations.len(),
+        allows.len()
+    );
+    if !allows.is_empty() {
+        println!("simlint: allow inventory:");
+        for a in &allows {
+            println!("  {}:{}: allow({}) — {}", a.file, a.line, a.rule, a.reason);
+        }
+    }
+
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest when run
+/// via `cargo run -p simlint`, else the current directory.
+fn workspace_root() -> PathBuf {
+    if let Some(manifest) = std::env::var_os("CARGO_MANIFEST_DIR") {
+        let manifest = PathBuf::from(manifest);
+        if let Some(root) = manifest.ancestors().nth(2) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+/// Recursively collects `.rs` files under `dir`, pruning [`SKIP_DIRS`].
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Ok(kind) = entry.file_type() else {
+            continue;
+        };
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if kind.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out);
+            }
+        } else if kind.is_file() && name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! The determinism rules, the allow-directive grammar, and the per-file
+//! scan.
+//!
+//! Three rules, mirroring DESIGN.md's "Determinism rules":
+//!
+//! * `hash-collections` — no hash-ordered collections as sim state. The
+//!   std hash map/set iterate in a per-process random order; one stray
+//!   iteration turns bit-identical replay into per-run noise. Use
+//!   `dcsim::det::{DetMap, DetSet, SeqMap}`.
+//! * `wall-clock` — no reading the host clock: `Instant::now`,
+//!   `SystemTime`, `UNIX_EPOCH`. Simulation time is `SimTime`, advanced
+//!   by the event loop only.
+//! * `ambient-rng` — no ambient randomness: `thread_rng`, `rand::random`,
+//!   `from_entropy`, `OsRng`, `getrandom`. Every random stream must be
+//!   derived from the run's seed.
+//!
+//! A violation is suppressed only by a scoped line comment
+//!
+//! ```text
+//! // simlint: allow(wall-clock) — measures real datapath latency
+//! ```
+//!
+//! (a trailing comment covers its own line; a standalone comment covers
+//! the next code line). The reason is mandatory; the linter prints every
+//! allow as an inventory so exceptions stay visible. A malformed or
+//! unused directive is itself an error — stale suppressions don't
+//! accumulate.
+
+use crate::lexer::{lex, Tok};
+use std::fmt;
+
+/// The enforced rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Hash-ordered collections as sim state.
+    HashCollections,
+    /// Wall-clock reads.
+    WallClock,
+    /// Ambient (non-seeded) randomness.
+    AmbientRng,
+}
+
+impl Rule {
+    /// All rules, in reporting order.
+    pub const ALL: [Rule; 3] = [Rule::HashCollections, Rule::WallClock, Rule::AmbientRng];
+
+    /// The id used in `allow(...)` directives and diagnostics.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::HashCollections => "hash-collections",
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+        }
+    }
+
+    fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+
+    fn advice(self) -> &'static str {
+        match self {
+            Rule::HashCollections => {
+                "hash iteration order is per-process random; use dcsim::det::DetMap/DetSet \
+                 (key order) or SeqMap (insertion order)"
+            }
+            Rule::WallClock => {
+                "simulation code must read SimTime, never the host clock; wall-clock I/O \
+                 belongs in the netproxy/trace crates or behind an allow"
+            }
+            Rule::AmbientRng => {
+                "derive randomness from the run seed (trace::SplitMix64 or a seeded SmallRng), \
+                 never from the environment"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Identifiers flagged by `hash-collections` wherever they appear in code.
+const HASH_IDENTS: [&str; 7] = [
+    "HashMap",
+    "HashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "AHashMap",
+    "AHashSet",
+    "RandomState",
+];
+
+/// Identifiers flagged by `wall-clock` wherever they appear in code.
+const CLOCK_IDENTS: [&str; 2] = ["SystemTime", "UNIX_EPOCH"];
+
+/// Identifiers flagged by `ambient-rng` wherever they appear in code.
+const RNG_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// A rule violation (or a broken/unused allow directive).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    /// `Some(rule)` for rule hits; `None` for directive problems.
+    pub rule: Option<Rule>,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = self.rule.map_or("allow-directive", Rule::id);
+        write!(
+            f,
+            "{}:{}:{}: simlint({label}): {}",
+            self.file, self.line, self.col, self.message
+        )
+    }
+}
+
+/// A used allow directive, reported in the inventory.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub file: String,
+    pub line: u32,
+    pub rule: Rule,
+    pub reason: String,
+}
+
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub violations: Vec<Violation>,
+    pub allows: Vec<AllowEntry>,
+}
+
+#[derive(Debug)]
+struct Directive {
+    rule: Rule,
+    reason: String,
+    comment_line: u32,
+    /// Line whose violations this directive suppresses.
+    target_line: u32,
+    used: bool,
+}
+
+/// Parses a line comment body as an allow directive.
+///
+/// Returns `None` for ordinary comments, `Some(Ok(...))` for a
+/// well-formed directive, and `Some(Err(message))` for a comment that
+/// clearly tries to be one but is malformed.
+fn parse_directive(text: &str) -> Option<Result<(Rule, String), String>> {
+    let t = text.trim();
+    let rest = t.strip_prefix("simlint:")?.trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Some(Err(format!(
+            "unrecognized simlint directive {t:?}; expected `simlint: allow(<rule>) — <reason>`"
+        )));
+    };
+    let Some(close) = args.find(')') else {
+        return Some(Err("unclosed `allow(` in simlint directive".into()));
+    };
+    let id = args[..close].trim();
+    let Some(rule) = Rule::from_id(id) else {
+        let known: Vec<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
+        return Some(Err(format!(
+            "unknown rule {id:?} in allow directive; known rules: {}",
+            known.join(", ")
+        )));
+    };
+    // Reason: everything after the closing paren, minus a separator.
+    let mut reason = args[close + 1..].trim_start();
+    for sep in ["—", "--", "-", ":"] {
+        if let Some(r) = reason.strip_prefix(sep) {
+            reason = r;
+            break;
+        }
+    }
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Some(Err(format!(
+            "allow({id}) has no reason; every exception must say why \
+             (`simlint: allow({id}) — <reason>`)"
+        )));
+    }
+    Some(Ok((rule, reason.to_string())))
+}
+
+/// Scans one file's source against the full rule set.
+///
+/// `exempt` marks the explicitly wall-clock crates (`netproxy`, `trace`),
+/// which the rules skip entirely.
+pub fn scan_source(file: &str, src: &str, exempt: bool) -> FileReport {
+    let mut report = FileReport::default();
+    if exempt {
+        return report;
+    }
+    let lexed = lex(src);
+
+    // Collect directives first, so a hit can look up its suppressor.
+    let mut directives: Vec<Directive> = Vec::new();
+    for comment in &lexed.comments {
+        match parse_directive(comment.text) {
+            None => {}
+            Some(Err(message)) => report.violations.push(Violation {
+                file: file.to_string(),
+                line: comment.line,
+                col: 1,
+                rule: None,
+                message,
+            }),
+            Some(Ok((rule, reason))) => {
+                let target_line = if comment.trailing {
+                    comment.line
+                } else {
+                    // Standalone: covers the next line that has code.
+                    lexed
+                        .tokens
+                        .iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > comment.line)
+                        .unwrap_or(comment.line)
+                };
+                directives.push(Directive {
+                    rule,
+                    reason,
+                    comment_line: comment.line,
+                    target_line,
+                    used: false,
+                });
+            }
+        }
+    }
+
+    let mut flag = |rule: Rule, line: u32, col: u32, what: &str, directives: &mut [Directive]| {
+        if let Some(d) = directives
+            .iter_mut()
+            .find(|d| d.rule == rule && d.target_line == line)
+        {
+            d.used = true;
+            return;
+        }
+        report.violations.push(Violation {
+            file: file.to_string(),
+            line,
+            col,
+            rule: Some(rule),
+            message: format!("`{what}`: {}", rule.advice()),
+        });
+    };
+
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = t.tok else { continue };
+        if HASH_IDENTS.contains(&name) {
+            flag(Rule::HashCollections, t.line, t.col, name, &mut directives);
+        } else if CLOCK_IDENTS.contains(&name) {
+            flag(Rule::WallClock, t.line, t.col, name, &mut directives);
+        } else if RNG_IDENTS.contains(&name) {
+            flag(Rule::AmbientRng, t.line, t.col, name, &mut directives);
+        } else if name == "Instant" && followed_by(toks, i, "now") {
+            flag(
+                Rule::WallClock,
+                t.line,
+                t.col,
+                "Instant::now",
+                &mut directives,
+            );
+        } else if name == "rand" && followed_by(toks, i, "random") {
+            flag(
+                Rule::AmbientRng,
+                t.line,
+                t.col,
+                "rand::random",
+                &mut directives,
+            );
+        }
+    }
+
+    for d in directives {
+        if d.used {
+            report.allows.push(AllowEntry {
+                file: file.to_string(),
+                line: d.comment_line,
+                rule: d.rule,
+                reason: d.reason,
+            });
+        } else {
+            report.violations.push(Violation {
+                file: file.to_string(),
+                line: d.comment_line,
+                col: 1,
+                rule: None,
+                message: format!(
+                    "unused allow({}) — nothing on line {} trips the rule; delete the stale \
+                     suppression",
+                    d.rule, d.target_line
+                ),
+            });
+        }
+    }
+    report
+}
+
+/// True when `toks[i]` is followed by `::` and then the identifier `next`.
+fn followed_by(toks: &[crate::lexer::Spanned<'_>], i: usize, next: &str) -> bool {
+    matches!(
+        (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3)),
+        (
+            Some(a),
+            Some(b),
+            Some(c)
+        ) if a.tok == Tok::Punct(':')
+            && b.tok == Tok::Punct(':')
+            && c.tok == Tok::Ident(next)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The embedded fixture: every rule with a hit, a miss, and a
+    /// suppressed hit, plus directive error cases.
+    const FIXTURE: &str = r####"
+use std::collections::HashMap;                       // hit: hash-collections
+use std::collections::BTreeMap;                      // miss: deterministic
+struct S {
+    a: HashSet<u32>,
+    b: DetMap<u32, u32>,
+}
+// simlint: allow(hash-collections) — eBPF map mirror needs hash semantics
+type Mirror = HashMap<u32, u32>;
+fn clocks() {
+    let t = Instant::now();                          // hit: wall-clock
+    let d = Instant::from_ticks(3);                  // miss: not ::now
+    let e = SystemTime::now();                       // hit: wall-clock
+    let f = now();                                   // miss: bare now()
+    // simlint: allow(wall-clock) — measures host latency for the bench table
+    let g = Instant::now();
+}
+fn rngs() {
+    let r = thread_rng();                            // hit: ambient-rng
+    let s = rand::random::<u64>();                   // hit: ambient-rng
+    let t = SmallRng::seed_from_u64(7);              // miss: seeded
+    let u = rand::rngs::SmallRng::from_seed([0; 32]); // miss: seeded
+    let v = from_entropy_like();                     // miss: different ident
+    let w = OsRng.next_u64(); // simlint: allow(ambient-rng) - trailing form
+}
+fn hidden() {
+    let s = "HashMap in a string is fine";
+    let r = r#"thread_rng in a raw string too"#;
+    // HashMap in a comment is fine
+    /* Instant::now in a block comment is fine */
+}
+"####;
+
+    fn scan(src: &str) -> FileReport {
+        scan_source("fixture.rs", src, false)
+    }
+
+    #[test]
+    fn fixture_hits_every_rule_and_respects_suppressions() {
+        let report = scan(FIXTURE);
+        let rules: Vec<&str> = report
+            .violations
+            .iter()
+            .map(|v| v.rule.map_or("allow-directive", Rule::id))
+            .collect();
+        // Unsuppressed hits only: HashMap use, HashSet field, Instant::now,
+        // SystemTime, thread_rng, rand::random.
+        assert_eq!(
+            rules,
+            vec![
+                "hash-collections",
+                "hash-collections",
+                "wall-clock",
+                "wall-clock",
+                "ambient-rng",
+                "ambient-rng"
+            ],
+            "{:#?}",
+            report.violations
+        );
+        // All three directives were consumed and inventoried.
+        let allowed: Vec<&str> = report.allows.iter().map(|a| a.rule.id()).collect();
+        assert_eq!(
+            allowed,
+            vec!["hash-collections", "wall-clock", "ambient-rng"]
+        );
+        assert!(report.allows.iter().all(|a| !a.reason.is_empty()));
+    }
+
+    #[test]
+    fn fixture_line_numbers_point_at_the_hit() {
+        let report = scan(FIXTURE);
+        let first = &report.violations[0];
+        assert_eq!(first.line, 2, "HashMap import is on line 2");
+        assert!(first.message.contains("HashMap"));
+    }
+
+    #[test]
+    fn string_and_comment_identifiers_never_flag() {
+        let report =
+            scan("fn f() {\n  let a = \"HashMap\";\n  // SystemTime\n  /* thread_rng */\n}\n");
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let report = scan("// simlint: allow(wall-clock)\nlet t = Instant::now();\n");
+        assert_eq!(report.violations.len(), 2, "{:#?}", report.violations);
+        assert!(report.violations[0].message.contains("no reason"));
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.rule == Some(Rule::WallClock)),
+            "a reasonless allow must not suppress"
+        );
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_an_error() {
+        let report = scan("// simlint: allow(hashmaps) — wrong id\nlet x = 1;\n");
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unused_allow_is_an_error() {
+        let report = scan("// simlint: allow(wall-clock) — stale\nlet x = 1;\n");
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].message.contains("unused allow"));
+        assert!(report.allows.is_empty());
+    }
+
+    #[test]
+    fn allow_only_covers_its_own_rule() {
+        let report =
+            scan("// simlint: allow(ambient-rng) — wrong rule\nlet m: HashMap<u8, u8> = x();\n");
+        // The hash hit stands AND the rng allow is unused.
+        assert_eq!(report.violations.len(), 2, "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn standalone_allow_skips_blank_and_comment_lines() {
+        let report = scan(
+            "// simlint: allow(wall-clock) — covers next code line\n\n// interleaved comment\nlet t = Instant::now();\n",
+        );
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+        assert_eq!(report.allows.len(), 1);
+    }
+
+    #[test]
+    fn exempt_files_are_skipped() {
+        let report = scan_source("netproxy.rs", "let t = Instant::now();", true);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn one_allow_covers_repeated_hits_on_its_line_only_once_each_rule() {
+        // Two hits of the same rule on the covered line: both suppressed
+        // (the directive marks the line, not a single token).
+        let report = scan(
+            "// simlint: allow(hash-collections) — both on one line\nfn f(a: HashMap<u8,u8>, b: HashSet<u8>) {}\n",
+        );
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    }
+}

@@ -58,6 +58,7 @@ async fn main() {
     let data = WireHeader::data(1, 1, 1000).encode(&vec![0u8; 1000]);
     let trimmed = WireHeader::trimmed(1, 2).encode(&[]);
     let iters = 2_000_000u64;
+    // simlint: allow(wall-clock) — times the real proxy decision loop, not sim state
     let start = Instant::now();
     let mut keep = 0u64;
     for i in 0..iters {

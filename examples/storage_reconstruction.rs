@@ -17,7 +17,6 @@ use dcsim::prelude::*;
 use incast_core::declare::{compile, IncastDecl, Routing};
 use incast_core::orchestrator::GlobalOrchestrator;
 use incast_core::scheme::{install_incast, IncastSpec, Scheme};
-use std::collections::HashMap;
 use trace::table::{fmt_bytes, fmt_secs};
 
 /// Reed-Solomon (k = 12, m = 4): 12 surviving fragments rebuild one lost
@@ -56,7 +55,7 @@ fn main() {
     let topo = two_dc_leaf_spine(&TwoDcParams::default());
     let dc0 = topo.hosts_in_dc(0);
     let dc1 = topo.hosts_in_dc(1);
-    let mut placement: HashMap<String, HostId> = (0..K)
+    let mut placement: DetMap<String, HostId> = (0..K)
         .map(|i| (format!("frag-server-{i}"), dc0[i]))
         .collect();
     placement.insert("reconstructor".into(), dc1[0]);

@@ -17,8 +17,11 @@ done
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "== cargo clippy -D warnings"
-cargo clippy --workspace "${OFFLINE[@]}" -- -D warnings
+echo "== cargo clippy --all-targets -D warnings"
+cargo clippy --workspace --all-targets "${OFFLINE[@]}" -- -D warnings
+
+echo "== simlint (determinism rules: no hash-ordered state, no wall clock, no ambient rng)"
+cargo run "${OFFLINE[@]}" -q -p simlint
 
 echo "== cargo bench --no-run (bench code compiles)"
 cargo bench --workspace "${OFFLINE[@]}" --no-run

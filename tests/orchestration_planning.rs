@@ -7,7 +7,6 @@ use incast_core::declare::{compile, IncastDecl, Routing};
 use incast_core::orchestrator::{GlobalOrchestrator, ProxySelector};
 use incast_core::predict::{paper_profile, predict};
 use incast_core::scheme::{install_incast, IncastSpec, Scheme};
-use std::collections::HashMap;
 
 fn full_topology() -> Topology {
     two_dc_leaf_spine(&TwoDcParams::default())
@@ -27,8 +26,7 @@ fn declare_plan_simulate_roundtrip() {
     let topo = full_topology();
     let dc0 = topo.hosts_in_dc(0);
     let dc1 = topo.hosts_in_dc(1);
-    let mut placement: HashMap<String, HostId> =
-        (0..4).map(|i| (format!("w{i}"), dc0[i])).collect();
+    let mut placement: DetMap<String, HostId> = (0..4).map(|i| (format!("w{i}"), dc0[i])).collect();
     placement.insert("agg".into(), dc1[0]);
     let mut orch = GlobalOrchestrator::new(dc0[4..].to_vec());
     let plans = compile(&[decl], &placement, &topo, &mut orch).expect("plannable");
@@ -131,7 +129,7 @@ fn plan_errors_are_reported_not_guessed() {
         .expected_bytes(1_000_000)
         .build()
         .expect("declaration itself is fine");
-    let placement: HashMap<String, HostId> =
+    let placement: DetMap<String, HostId> =
         [("a".to_string(), dc0[0]), ("s".to_string(), dc0[1])].into();
     let mut orch = GlobalOrchestrator::new(vec![dc0[5]]);
     let err = compile(&[decl], &placement, &topo, &mut orch).unwrap_err();
