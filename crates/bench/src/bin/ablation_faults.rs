@@ -27,6 +27,22 @@ struct Point {
     failover_activations: u64,
     packets_lost_to_fault: u64,
     failover_latency_max_secs: f64,
+    /// Distinct [`dcsim::sim::TerminatedReason`]s across the repetitions
+    /// (normally just `completed`; anything else flags a degraded point).
+    terminated: String,
+}
+
+/// Distinct termination reasons across a cell's repetitions, joined with
+/// `+` in first-seen order.
+fn reasons(outcomes: &[incast_core::experiment::IncastOutcome]) -> String {
+    let mut seen: Vec<String> = Vec::new();
+    for o in outcomes {
+        let r = o.terminated_reason.to_string();
+        if !seen.contains(&r) {
+            seen.push(r);
+        }
+    }
+    seen.join("+")
 }
 
 fn config_for(scheme: Scheme, degree: usize, seed: u64) -> ExperimentConfig {
@@ -92,10 +108,12 @@ fn main() {
         "failovers",
         "lost pkts",
         "max failover lat",
+        "end",
     ]);
     let mut fault_it = fault_cells.iter().zip(&fault_results);
     for (s, scheme) in schemes.into_iter().enumerate() {
-        let (healthy, _) = &healthy_results[s];
+        let (healthy, healthy_outcomes) = &healthy_results[s];
+        let healthy_end = reasons(healthy_outcomes);
         table.row(vec![
             scheme.to_string(),
             "never".to_string(),
@@ -104,6 +122,7 @@ fn main() {
             "0".to_string(),
             "0".to_string(),
             "-".to_string(),
+            healthy_end.clone(),
         ]);
         emit_json(
             "ablation_faults",
@@ -115,6 +134,7 @@ fn main() {
                 failover_activations: 0,
                 packets_lost_to_fault: 0,
                 failover_latency_max_secs: 0.0,
+                terminated: healthy_end,
             },
         );
         for _ in fractions {
@@ -126,6 +146,7 @@ fn main() {
                 .iter()
                 .map(|o| o.failover_latency_max_secs)
                 .fold(0.0, f64::max);
+            let end = reasons(outcomes);
             table.row(vec![
                 scheme.to_string(),
                 format!("{:.0}% of ICT", frac * 100.0),
@@ -138,6 +159,7 @@ fn main() {
                 } else {
                     "-".to_string()
                 },
+                end.clone(),
             ]);
             emit_json(
                 "ablation_faults",
@@ -149,6 +171,7 @@ fn main() {
                     failover_activations: failovers,
                     packets_lost_to_fault: lost,
                     failover_latency_max_secs: max_lat,
+                    terminated: end,
                 },
             );
         }

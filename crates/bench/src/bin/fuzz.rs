@@ -1,0 +1,225 @@
+//! Chaos fuzzer driver: random fault-laden incast scenarios under the
+//! invariant auditor, with shrinking and replayable repro files.
+//!
+//! ```text
+//! fuzz [--count N] [--start-seed S] [--jobs J] [--out DIR]
+//!      [--shrink-budget N] [--replay FILE]
+//! ```
+//!
+//! Campaign mode (default): generates and runs `--count` scenarios from
+//! consecutive fuzz seeds. Every failure (panic, invariant violation,
+//! event-cap livelock) is shrunk to a minimal scenario that fails the
+//! same way and written to `--out` as a JSON repro file. Exits non-zero
+//! when any scenario failed.
+//!
+//! Replay mode (`--replay FILE`): loads a repro file, runs its scenario
+//! **twice**, checks the two runs are identical (determinism) and that
+//! the outcome matches the file's `expect` field (`"clean"` or a failure
+//! kind). Exits non-zero on mismatch or divergence.
+
+use bench::fuzz::{
+    check_replay, failure_kind, run_campaign, Finding, ReproFile, Scenario, DEFAULT_SHRINK_BUDGET,
+};
+
+#[derive(Debug, Clone)]
+struct Cli {
+    count: u64,
+    start_seed: u64,
+    jobs: usize,
+    out: String,
+    shrink_budget: usize,
+    replay: Option<String>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            count: 500,
+            start_seed: 1,
+            jobs: 0,
+            out: "target/fuzz-repros".to_string(),
+            shrink_budget: DEFAULT_SHRINK_BUDGET,
+            replay: None,
+        }
+    }
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let usage = "usage: fuzz [--count N] [--start-seed S] [--jobs J] [--out DIR] \
+                 [--shrink-budget N] [--replay FILE]";
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("{arg} needs a value; {usage}"))
+                .clone()
+        };
+        match arg.as_str() {
+            "--count" => cli.count = value().parse().expect("--count: integer"),
+            "--start-seed" => cli.start_seed = value().parse().expect("--start-seed: integer"),
+            "--jobs" => cli.jobs = value().parse().expect("--jobs: integer"),
+            "--out" => cli.out = value(),
+            "--shrink-budget" => {
+                cli.shrink_budget = value().parse().expect("--shrink-budget: integer")
+            }
+            "--replay" => cli.replay = Some(value()),
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?}; {usage}"),
+        }
+    }
+    cli
+}
+
+fn describe(sc: &Scenario) -> String {
+    format!(
+        "scheme={:?} transport={:?} degree={} bytes={} topo={}x{}x{} bg={} faults={}w/{}i/{}c",
+        sc.scheme,
+        sc.transport,
+        sc.degree,
+        sc.total_bytes,
+        sc.spines_per_dc,
+        sc.leaves_per_dc,
+        sc.hosts_per_leaf,
+        sc.background_flows,
+        sc.faults.link_windows.len(),
+        sc.faults.impairments.len(),
+        sc.faults.crashes.len(),
+    )
+}
+
+fn replay_file(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fuzz: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    // Accept a full repro file or a bare scenario.
+    let (repro, bare) = match ReproFile::from_json(&text) {
+        Ok(r) => (r, false),
+        Err(repro_err) => {
+            match Scenario::from_json(&text) {
+                Ok(sc) => (
+                    ReproFile {
+                        found_with_seed: 0,
+                        expect: String::new(),
+                        note: String::new(),
+                        scenario: sc,
+                    },
+                    true,
+                ),
+                Err(sc_err) => {
+                    eprintln!("fuzz: {path} is neither a repro file ({repro_err}) nor a scenario ({sc_err})");
+                    return 2;
+                }
+            }
+        }
+    };
+    println!("replaying {path}");
+    println!("  {}", describe(&repro.scenario));
+    if !repro.note.is_empty() {
+        println!("  note: {}", repro.note);
+    }
+    let (outcome, deterministic) = check_replay(&repro.scenario);
+    let kind = failure_kind(&outcome);
+    println!(
+        "  outcome: stop={} events={} completed={} violations={:?} panic={:?}",
+        outcome.stop, outcome.events, outcome.completed, outcome.violations, outcome.panic
+    );
+    for d in &outcome.details {
+        println!("    {d}");
+    }
+    if !deterministic {
+        eprintln!("fuzz: REPLAY DIVERGED — two runs of the same scenario differed");
+        return 1;
+    }
+    println!("  deterministic: two consecutive runs identical");
+    if bare {
+        // No expectation recorded; determinism was the whole check.
+        return i32::from(kind.is_some());
+    }
+    if repro.matches(&outcome) {
+        println!("  expectation {:?}: satisfied", repro.expect);
+        0
+    } else {
+        eprintln!(
+            "fuzz: expectation {:?} NOT met (observed {:?})",
+            repro.expect,
+            kind.as_deref().unwrap_or("clean")
+        );
+        1
+    }
+}
+
+fn write_finding(out_dir: &str, finding: &Finding) -> std::io::Result<String> {
+    std::fs::create_dir_all(out_dir)?;
+    let repro = ReproFile {
+        found_with_seed: finding.seed,
+        expect: finding.kind.clone(),
+        note: format!(
+            "found by fuzz campaign; shrunk in {} runs; first detail: {}",
+            finding.shrink_runs,
+            finding
+                .outcome
+                .details
+                .first()
+                .or(finding.outcome.panic.as_ref())
+                .map(String::as_str)
+                .unwrap_or("-")
+        ),
+        scenario: finding.shrunk.clone(),
+    };
+    let path = format!("{out_dir}/repro-seed{}-{}.json", finding.seed, finding.kind);
+    std::fs::write(&path, repro.to_json())?;
+    Ok(path)
+}
+
+fn main() {
+    let cli = parse_args();
+    if let Some(path) = &cli.replay {
+        std::process::exit(replay_file(path));
+    }
+
+    println!(
+        "== fuzz: {} scenarios from seed {} (shrink budget {}) ==",
+        cli.count, cli.start_seed, cli.shrink_budget
+    );
+    // Failing scenarios panic inside catch_unwind; silence the default
+    // hook's backtrace spam for the campaign (panics are reported as
+    // findings instead).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let findings = run_campaign(cli.start_seed, cli.count, cli.jobs, cli.shrink_budget);
+    std::panic::set_hook(default_hook);
+
+    if findings.is_empty() {
+        println!("all {} scenarios clean", cli.count);
+        return;
+    }
+    eprintln!("{} failing scenario(s):", findings.len());
+    for finding in &findings {
+        eprintln!(
+            "  seed {}: {} — {}",
+            finding.seed,
+            finding.kind,
+            describe(&finding.shrunk)
+        );
+        if let Some(p) = &finding.outcome.panic {
+            eprintln!("    panic: {p}");
+        }
+        for d in &finding.outcome.details {
+            eprintln!("    {d}");
+        }
+        match write_finding(&cli.out, finding) {
+            Ok(path) => eprintln!("    repro written to {path}"),
+            Err(e) => eprintln!("    failed to write repro: {e}"),
+        }
+    }
+    std::process::exit(1);
+}

@@ -110,7 +110,7 @@ fn parse_args() -> Cli {
     cli
 }
 
-fn run_once(cli: &Cli, scheme: Scheme, seed: u64) -> (f64, u64, u64) {
+fn run_once(cli: &Cli, scheme: Scheme, seed: u64) -> (f64, u64, u64, TerminatedReason) {
     let config = ExperimentConfig {
         scheme,
         degree: cli.degree,
@@ -142,7 +142,7 @@ fn run_once(cli: &Cli, scheme: Scheme, seed: u64) -> (f64, u64, u64) {
         .install(&mut sim);
     }
     let handle = install_incast(&mut sim, &spec, scheme);
-    bench::expect_no_event_cap(
+    let report = bench::expect_no_event_cap(
         sim.run(Some(SimTime::ZERO + config.time_limit)),
         "simulate run",
     );
@@ -155,7 +155,21 @@ fn run_once(cli: &Cli, scheme: Scheme, seed: u64) -> (f64, u64, u64) {
         ict,
         m.counter(Counter::RtoFires),
         m.counter(Counter::Retransmits),
+        report.terminated_reason(),
     )
+}
+
+/// Distinct termination reasons across the repetitions, joined with `+`
+/// in first-seen order (normally just `completed`).
+fn reasons(outcomes: &[(f64, u64, u64, TerminatedReason)]) -> String {
+    let mut seen: Vec<String> = Vec::new();
+    for &(_, _, _, reason) in outcomes {
+        let r = reason.to_string();
+        if !seen.contains(&r) {
+            seen.push(r);
+        }
+    }
+    seen.join("+")
 }
 
 fn main() {
@@ -169,12 +183,15 @@ fn main() {
         bench::SweepRunner::new(cli.jobs).run_repeated(&cli.schemes, cli.runs, |&scheme, r| {
             run_once(&cli, scheme, derive_seed(cli.seed, r as u64))
         });
-    let mut table = Table::new(vec!["scheme", "ICT mean", "min", "max", "rtos", "retx"]);
+    let mut table = Table::new(vec![
+        "scheme", "ICT mean", "min", "max", "rtos", "retx", "end",
+    ]);
     let mut baseline_mean = None;
     for (&scheme, outcomes) in cli.schemes.iter().zip(&runs) {
-        let icts: Vec<f64> = outcomes.iter().map(|&(ict, _, _)| ict).collect();
-        let rtos: u64 = outcomes.iter().map(|&(_, rt, _)| rt).sum();
-        let retx: u64 = outcomes.iter().map(|&(_, _, rx)| rx).sum();
+        let icts: Vec<f64> = outcomes.iter().map(|&(ict, _, _, _)| ict).collect();
+        let rtos: u64 = outcomes.iter().map(|&(_, rt, _, _)| rt).sum();
+        let retx: u64 = outcomes.iter().map(|&(_, _, rx, _)| rx).sum();
+        let end = reasons(outcomes);
         let summary = Summary::of(&icts);
         if scheme == Scheme::Baseline {
             baseline_mean = Some(summary.mean);
@@ -186,6 +203,7 @@ fn main() {
             fmt_secs(summary.max),
             (rtos / cli.runs as u64).to_string(),
             (retx / cli.runs as u64).to_string(),
+            end.clone(),
         ]);
         println!(
             "JSON {}",
@@ -194,6 +212,7 @@ fn main() {
                 "mean_secs": summary.mean,
                 "min_secs": summary.min,
                 "max_secs": summary.max,
+                "terminated": end,
             })
         );
     }

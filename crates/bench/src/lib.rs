@@ -18,6 +18,8 @@ use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub mod fuzz;
+
 /// Command-line options shared by the reproduction binaries.
 #[derive(Debug, Clone, Copy)]
 pub struct RunOptions {

@@ -1,0 +1,53 @@
+//! Replays every committed chaos-fuzzer repro in `tests/repros/`.
+//!
+//! Each repro file records a scenario the fuzzer once shrank out of a
+//! failing campaign, plus an expectation:
+//!
+//! * `"expect": "clean"` — the bug it reproduced has been fixed; the
+//!   scenario must now run without panics, invariant violations, or an
+//!   event-cap blowup. These are regression tests.
+//! * `"expect": "<kind>"` — a documented known issue; the scenario must
+//!   still fail with exactly that kind (if it stops reproducing, the
+//!   issue is fixed and the file should be flipped to `"clean"`).
+//!
+//! Every replay runs the scenario **twice** and asserts the runs are
+//! identical, so the suite also pins the fuzzer's determinism guarantee.
+
+use bench::fuzz::{check_replay, failure_kind, ReproFile};
+
+fn repro_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/repros")
+}
+
+#[test]
+fn committed_repros_replay_deterministically_and_match_expectations() {
+    let mut paths: Vec<_> = std::fs::read_dir(repro_dir())
+        .expect("tests/repros must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no repro files found");
+
+    // Known-issue repros fail inside catch_unwind only if the failure is a
+    // panic; none currently are, but keep the hook quiet just in case a
+    // future repro documents one.
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("readable repro");
+        let repro =
+            ReproFile::from_json(&text).unwrap_or_else(|e| panic!("{name}: unparsable repro: {e}"));
+        let (outcome, deterministic) = check_replay(&repro.scenario);
+        assert!(
+            deterministic,
+            "{name}: two consecutive replays diverged: {outcome:?}"
+        );
+        let observed = failure_kind(&outcome);
+        assert!(
+            repro.matches(&outcome),
+            "{name}: expected {:?}, observed {:?} ({outcome:?})",
+            repro.expect,
+            observed.as_deref().unwrap_or("clean"),
+        );
+    }
+}

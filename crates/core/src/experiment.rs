@@ -98,6 +98,11 @@ pub struct ExperimentConfig {
     /// Safety limit on simulated time (a run exceeding it is a bug or a
     /// pathological configuration — the harness panics loudly).
     pub time_limit: SimDuration,
+    /// Invariant auditing for each run (default: none). When `None`, the
+    /// `DCSIM_AUDIT` environment variable still turns auditing on
+    /// (`strict`/`1` or `collect`) so the whole experiment surface can run
+    /// audited without touching call sites.
+    pub audit: Option<AuditConfig>,
 }
 
 impl Default for ExperimentConfig {
@@ -118,7 +123,22 @@ impl Default for ExperimentConfig {
             faults: FaultScenario::None,
             failover: None,
             time_limit: SimDuration::from_secs(600),
+            audit: None,
         }
+    }
+}
+
+/// The audit configuration a run should use: the config's explicit choice,
+/// else the `DCSIM_AUDIT` environment variable (`strict` or `1` → strict,
+/// `collect` → collect), else none.
+fn resolved_audit(config: &ExperimentConfig) -> Option<AuditConfig> {
+    if config.audit.is_some() {
+        return config.audit;
+    }
+    match std::env::var("DCSIM_AUDIT").ok()?.as_str() {
+        "strict" | "1" => Some(AuditConfig::strict()),
+        "collect" => Some(AuditConfig::collect()),
+        _ => None,
     }
 }
 
@@ -181,6 +201,10 @@ pub struct IncastOutcome {
     pub failover_latency_max_secs: f64,
     /// Events processed (simulator work, useful for perf tracking).
     pub events: u64,
+    /// How the run terminated (completion is separately guaranteed by the
+    /// harness, so this distinguishes a clean `Completed` from a completed
+    /// run that the collect-mode auditor flagged).
+    pub terminated_reason: TerminatedReason,
 }
 
 /// Runs one seeded incast to completion.
@@ -195,6 +219,9 @@ pub fn run_incast(config: &ExperimentConfig, seed: u64) -> IncastOutcome {
         .with_trim(config.trim.enabled_for(config.scheme));
     let topo = two_dc_leaf_spine(&params);
     let mut sim = Simulator::new(topo, seed);
+    if let Some(audit) = resolved_audit(config) {
+        sim.set_audit(audit);
+    }
     let spec = config.placement(sim.topology());
     let handle = install_incast(&mut sim, &spec, config.scheme);
     if let Some(plan) = fault_plan_for(config, &spec, &handle, &sim) {
@@ -237,6 +264,7 @@ pub fn run_incast(config: &ExperimentConfig, seed: u64) -> IncastOutcome {
             .map(|d| d.as_secs_f64())
             .fold(0.0, f64::max),
         events: m.events_processed,
+        terminated_reason: report.terminated_reason(),
     }
 }
 

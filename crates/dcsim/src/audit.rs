@@ -1,0 +1,264 @@
+//! Runtime invariant auditing: packet conservation, queue sanity, timer
+//! accounting, and flow liveness.
+//!
+//! The simulator keeps a [`PacketLedger`] of every packet from the moment an
+//! agent emits it ([`crate::agent::Effect::Send`]) to its terminal
+//! disposition: delivered to a host agent, destroyed on arrival at a crashed
+//! agent, blackholed/corrupted/lost by an injected fault, or dropped by a
+//! full queue. Trimming is *not* terminal — the header keeps traveling — so
+//! it is tracked separately as an informational counter.
+//!
+//! With an [`AuditConfig`] installed ([`crate::sim::Simulator::set_audit`])
+//! the simulator cross-checks the ledger against the actual simulation state
+//! at the end of every `run()` call (and optionally every N processed
+//! events):
+//!
+//! * **Conservation** — `created == delivered + lost_to_crash +
+//!   lost_to_fault + dropped_queue + in_flight`, where in-flight packets are
+//!   counted by summing port-queue occupancy and walking the event slab for
+//!   pending `Arrival`/`Inject` events.
+//! * **Queue sanity** — per-port byte counters match the queued packets,
+//!   occupancy never exceeds the configured capacities, and
+//!   `enqueued - dequeued == len`.
+//! * **Timer accounting** — `armed == fired + canceled + pending`, and the
+//!   slot/generation protocol never discards a stale pop
+//!   (`discarded_stale == 0`), extending the PR 3 churn counters.
+//! * **Flow liveness** (opt-in via [`AuditConfig::with_liveness`]) — a
+//!   watchdog flags any bound, started, uncrashed, incomplete flow with no
+//!   packet activity for the configured sim-time horizon; when the simulator
+//!   goes idle, such flows are flagged regardless of horizon because no
+//!   pending event can ever unwedge them.
+//!
+//! Checks never consult the RNG and never mutate simulation state, so a run
+//! is bit-identical with auditing on, off, or at any checkpoint cadence —
+//! only the failure behavior differs. [`AuditMode::Strict`] panics with a
+//! structured report (tests, fuzzing); [`AuditMode::Collect`] surfaces the
+//! violations in [`crate::sim::RunReport::violations`] (the chaos fuzzer
+//! uses this to keep searching after a hit).
+
+use crate::packet::{FlowId, PortId};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What to do when an invariant check fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditMode {
+    /// Panic immediately with a structured violation report.
+    Strict,
+    /// Record violations; they surface in `RunReport::violations`.
+    Collect,
+}
+
+/// Invariant-auditing configuration for a [`crate::sim::Simulator`].
+///
+/// Installing one is cheap: the ledger counters are maintained
+/// unconditionally (a handful of integer increments per packet), so turning
+/// auditing on only adds the checkpoint checks themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditConfig {
+    /// Strict (panic) or collect (report) on violation.
+    pub mode: AuditMode,
+    /// Also run the checks every N processed events, not just at the end of
+    /// `run()`. Catches transient violations (e.g. a queue briefly over
+    /// capacity) that self-correct before the run ends.
+    pub check_every_events: Option<u64>,
+    /// Liveness watchdog horizon; `None` disables the watchdog. Must
+    /// comfortably exceed the transport's maximum RTO backoff (2 s by
+    /// default) or legitimately idle-but-retrying flows get flagged.
+    pub liveness_horizon: Option<SimDuration>,
+}
+
+impl AuditConfig {
+    /// Strict mode with periodic checks every 100k events; no liveness
+    /// watchdog. The default for tests and fuzzing.
+    pub fn strict() -> Self {
+        AuditConfig {
+            mode: AuditMode::Strict,
+            check_every_events: Some(100_000),
+            liveness_horizon: None,
+        }
+    }
+
+    /// Collect mode with periodic checks every 100k events; no liveness
+    /// watchdog. Used by the fuzzer so a violating run still reports how it
+    /// terminated.
+    pub fn collect() -> Self {
+        AuditConfig {
+            mode: AuditMode::Collect,
+            check_every_events: Some(100_000),
+            liveness_horizon: None,
+        }
+    }
+
+    /// Override the periodic-check cadence (`None` = end of run only).
+    pub fn every(mut self, events: Option<u64>) -> Self {
+        self.check_every_events = events;
+        self
+    }
+
+    /// Arm the liveness watchdog with the given silence horizon.
+    pub fn with_liveness(mut self, horizon: SimDuration) -> Self {
+        self.liveness_horizon = Some(horizon);
+        self
+    }
+}
+
+/// Counts every packet the simulator has seen, by disposition.
+///
+/// `created` counts `Effect::Send` applications — a proxy forwarding a
+/// packet counts as a fresh creation, so conservation holds regardless of
+/// agent behavior. `trimmed` is informational (a trimmed packet keeps
+/// traveling as a header); it is *not* part of the conservation sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketLedger {
+    /// Packets emitted by agents (`Effect::Send`), including forwards.
+    pub created: u64,
+    /// Packets dispatched to a live host agent.
+    pub delivered: u64,
+    /// Packets destroyed on arrival at a crashed agent.
+    pub lost_to_crash: u64,
+    /// Packets blackholed by a downed link, lost to an impairment draw, or
+    /// destroyed by corruption of a control packet.
+    pub lost_to_fault: u64,
+    /// Packets dropped by a full queue (`EnqueueOutcome::Dropped`).
+    pub dropped_queue: u64,
+    /// Payloads cut to headers (queue trim or data corruption); the header
+    /// keeps traveling, so this is not a terminal disposition.
+    pub trimmed: u64,
+}
+
+impl PacketLedger {
+    /// Sum of terminal dispositions.
+    pub fn terminal(&self) -> u64 {
+        self.delivered + self.lost_to_crash + self.lost_to_fault + self.dropped_queue
+    }
+}
+
+/// A single invariant violation, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvariantViolation {
+    /// The ledger does not balance: `created != terminal + in_flight`.
+    PacketConservation {
+        at: SimTime,
+        ledger: PacketLedger,
+        in_queues: u64,
+        in_events: u64,
+    },
+    /// A port queue's occupancy exceeds its configured capacity.
+    QueueOverCapacity {
+        at: SimTime,
+        port: PortId,
+        data_bytes: u64,
+        data_capacity: u64,
+        ctrl_bytes: u64,
+        ctrl_capacity: u64,
+    },
+    /// A port queue's internal accounting is inconsistent (byte counters vs
+    /// queued packets, enqueue/dequeue stats vs length, class placement).
+    QueueAccounting {
+        at: SimTime,
+        port: PortId,
+        detail: String,
+    },
+    /// Timer churn counters do not balance: `armed != fired + canceled +
+    /// pending`, or a stale timer pop was discarded.
+    TimerAccounting {
+        at: SimTime,
+        armed: u64,
+        fired: u64,
+        canceled: u64,
+        pending: u64,
+        discarded_stale: u64,
+    },
+    /// A bound, started, uncrashed flow has made no forward progress for
+    /// longer than the watchdog horizon (or the simulator went idle with the
+    /// flow incomplete).
+    StuckFlow {
+        at: SimTime,
+        flow: FlowId,
+        last_activity: SimTime,
+        idle: bool,
+    },
+}
+
+impl InvariantViolation {
+    /// Stable short name of the violation class; the fuzzer's shrinker
+    /// matches on this to accept a shrunk candidate as "the same failure".
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InvariantViolation::PacketConservation { .. } => "PacketConservation",
+            InvariantViolation::QueueOverCapacity { .. } => "QueueOverCapacity",
+            InvariantViolation::QueueAccounting { .. } => "QueueAccounting",
+            InvariantViolation::TimerAccounting { .. } => "TimerAccounting",
+            InvariantViolation::StuckFlow { .. } => "StuckFlow",
+        }
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::PacketConservation {
+                at,
+                ledger,
+                in_queues,
+                in_events,
+            } => write!(
+                f,
+                "packet conservation broken at {at}: created={} != terminal={} \
+                 (delivered={} lost_to_crash={} lost_to_fault={} dropped_queue={}) \
+                 + in_flight={} (queues={in_queues} events={in_events})",
+                ledger.created,
+                ledger.terminal(),
+                ledger.delivered,
+                ledger.lost_to_crash,
+                ledger.lost_to_fault,
+                ledger.dropped_queue,
+                in_queues + in_events,
+            ),
+            InvariantViolation::QueueOverCapacity {
+                at,
+                port,
+                data_bytes,
+                data_capacity,
+                ctrl_bytes,
+                ctrl_capacity,
+            } => write!(
+                f,
+                "queue over capacity at {at} on {port:?}: \
+                 data {data_bytes}/{data_capacity} B, ctrl {ctrl_bytes}/{ctrl_capacity} B",
+            ),
+            InvariantViolation::QueueAccounting { at, port, detail } => {
+                write!(f, "queue accounting broken at {at} on {port:?}: {detail}")
+            }
+            InvariantViolation::TimerAccounting {
+                at,
+                armed,
+                fired,
+                canceled,
+                pending,
+                discarded_stale,
+            } => write!(
+                f,
+                "timer accounting broken at {at}: armed={armed} != fired={fired} \
+                 + canceled={canceled} + pending={pending} \
+                 (discarded_stale={discarded_stale}, must be 0)",
+            ),
+            InvariantViolation::StuckFlow {
+                at,
+                flow,
+                last_activity,
+                idle,
+            } => write!(
+                f,
+                "stuck flow {flow:?} at {at}: no activity since {last_activity}{}",
+                if *idle {
+                    " and the simulator is idle (no pending event can complete it)"
+                } else {
+                    ""
+                },
+            ),
+        }
+    }
+}

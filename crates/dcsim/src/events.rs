@@ -78,6 +78,17 @@ pub enum Event {
     Fault(FaultEvent),
 }
 
+/// Pending-event counts by class, as reported by [`EventQueue::census`].
+/// `packets` counts events that carry a packet in flight (`Arrival`,
+/// `Inject`); `timers` counts pending `Timer` events; everything else
+/// (`TxDone`, `FlowStart`, `Fault`) lands in `other`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCensus {
+    pub packets: u64,
+    pub timers: u64,
+    pub other: u64,
+}
+
 /// Heap arity. Four children per node keeps the tree shallow (log₄ n
 /// levels) while a whole sibling group still fits in one or two cache
 /// lines of 24-byte entries.
@@ -308,6 +319,23 @@ impl EventQueue {
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.first().map(|e| e.at)
+    }
+
+    /// Counts pending events by class (for the invariant auditor). Walks
+    /// the whole slab — O(slots), so callers should only invoke it at
+    /// audit checkpoints, not per event.
+    pub fn census(&self) -> EventCensus {
+        let mut census = EventCensus::default();
+        for entry in self.slab.iter().flatten() {
+            match entry {
+                Event::Arrival { .. } | Event::Inject { .. } => census.packets += 1,
+                Event::Timer { .. } => census.timers += 1,
+                Event::TxDone { .. } | Event::FlowStart { .. } | Event::Fault(_) => {
+                    census.other += 1
+                }
+            }
+        }
+        census
     }
 
     #[inline]

@@ -83,6 +83,15 @@ pub enum FaultError {
         at: SimTime,
         restore_at: SimTime,
     },
+    /// Two link windows on the same port overlap in time (a permanent
+    /// outage — `up_at: None` — overlaps every later window on its port).
+    /// Overlapping windows would interleave their down/up transitions and
+    /// leave the port in a state neither window describes.
+    OverlappingLinkWindows {
+        port: PortId,
+        first_down_at: SimTime,
+        second_down_at: SimTime,
+    },
     /// The plan names a port the topology does not have.
     UnknownPort { port: PortId, ports: usize },
     /// The plan names an agent the simulator does not have.
@@ -124,6 +133,17 @@ impl fmt::Display for FaultError {
                 write!(
                     f,
                     "crash window for {agent} is empty: crash at {at}, restore at {restore_at}"
+                )
+            }
+            FaultError::OverlappingLinkWindows {
+                port,
+                first_down_at,
+                second_down_at,
+            } => {
+                write!(
+                    f,
+                    "link windows on {port} overlap: window starting at {first_down_at} \
+                     is still down when the window starting at {second_down_at} begins"
                 )
             }
             FaultError::UnknownPort { port, ports } => {
@@ -184,7 +204,12 @@ impl FaultPlan {
         self.link_windows.is_empty() && self.impairments.is_empty() && self.crashes.is_empty()
     }
 
-    /// Takes `port` down at `at` for the rest of the run.
+    /// Takes `port` down at `at` **for the rest of the run** — a permanent
+    /// outage. No `LinkUp` is ever scheduled: the port blackholes
+    /// everything offered to it from `at` on, and packets queued behind it
+    /// never drain. Because the outage extends to the end of the run,
+    /// [`FaultPlan::validate`] rejects any later window on the same port as
+    /// overlapping.
     pub fn link_down(mut self, port: PortId, at: SimTime) -> Self {
         self.link_windows.push(LinkWindow {
             port,
@@ -245,9 +270,16 @@ impl FaultPlan {
         self
     }
 
-    /// Checks internal consistency (probability ranges, window ordering).
-    /// Index bounds against a concrete topology are checked by
+    /// Checks internal consistency (probability ranges, window ordering,
+    /// no overlapping link windows per port). Index bounds against a
+    /// concrete topology are checked by
     /// [`crate::sim::Simulator::install_faults`].
+    ///
+    /// Link windows on the same port must be disjoint; a window may begin
+    /// exactly when the previous one ends (`down_at == up_at` is a
+    /// back-to-back flap, not an overlap). A permanent outage
+    /// (`up_at: None`) covers the rest of the run, so any later window on
+    /// that port is an overlap.
     pub fn validate(&self) -> Result<(), FaultError> {
         for w in &self.link_windows {
             if let Some(up) = w.up_at {
@@ -258,6 +290,27 @@ impl FaultPlan {
                         up_at: up,
                     });
                 }
+            }
+        }
+        // Overlap check: sort (port, window) pairs so windows on the same
+        // port become adjacent, then compare neighbors.
+        let mut windows: Vec<&LinkWindow> = self.link_windows.iter().collect();
+        windows.sort_by_key(|w| (w.port.index(), w.down_at));
+        for pair in windows.windows(2) {
+            let (prev, next) = (pair[0], pair[1]);
+            if prev.port != next.port {
+                continue;
+            }
+            let overlaps = match prev.up_at {
+                None => true, // permanent outage: down until the end of the run
+                Some(up) => next.down_at < up,
+            };
+            if overlaps {
+                return Err(FaultError::OverlappingLinkWindows {
+                    port: prev.port,
+                    first_down_at: prev.down_at,
+                    second_down_at: next.down_at,
+                });
             }
         }
         for imp in &self.impairments {
@@ -366,6 +419,59 @@ mod tests {
             crash.validate(),
             Err(FaultError::EmptyCrashWindow { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_overlapping_link_windows_on_one_port() {
+        // Plain overlap: [10, 30) and [20, 40).
+        let plan = FaultPlan::new()
+            .link_down_window(PortId(5), t(10), t(30))
+            .link_down_window(PortId(5), t(20), t(40));
+        assert_eq!(
+            plan.validate(),
+            Err(FaultError::OverlappingLinkWindows {
+                port: PortId(5),
+                first_down_at: t(10),
+                second_down_at: t(20),
+            })
+        );
+        // Containment counts as overlap, regardless of builder order.
+        let contained = FaultPlan::new()
+            .link_down_window(PortId(5), t(20), t(25))
+            .link_down_window(PortId(5), t(10), t(40));
+        assert!(matches!(
+            contained.validate(),
+            Err(FaultError::OverlappingLinkWindows {
+                port: PortId(5),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn permanent_outage_overlaps_any_later_window() {
+        let plan = FaultPlan::new()
+            .link_down(PortId(2), t(10))
+            .link_down_window(PortId(2), t(500), t(600));
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultError::OverlappingLinkWindows {
+                port: PortId(2),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn disjoint_and_back_to_back_windows_are_accepted() {
+        // Disjoint windows on one port, a back-to-back flap (up == next
+        // down), and a window on a different port are all fine.
+        let plan = FaultPlan::new()
+            .link_down_window(PortId(1), t(10), t(20))
+            .link_down_window(PortId(1), t(20), t(30))
+            .link_down_window(PortId(1), t(50), t(60))
+            .link_down(PortId(2), t(5));
+        assert!(plan.validate().is_ok());
     }
 
     #[test]

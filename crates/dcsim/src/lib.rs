@@ -38,6 +38,7 @@
 //! ```
 
 pub mod agent;
+pub mod audit;
 pub mod det;
 pub mod events;
 pub mod faults;
@@ -55,6 +56,7 @@ pub mod workload;
 /// Convenient glob-import surface for experiment and test code.
 pub mod prelude {
     pub use crate::agent::{Agent, Counter, Ctx, Effect, Note};
+    pub use crate::audit::{AuditConfig, AuditMode, InvariantViolation, PacketLedger};
     pub use crate::det::{DetMap, DetSet, SeqMap};
     pub use crate::events::{FaultEvent, TimerKind};
     pub use crate::faults::{AgentCrash, FaultError, FaultPlan, LinkWindow, PortImpairment};
@@ -69,7 +71,7 @@ pub mod prelude {
     };
     pub use crate::proxy::{ProxyError, StreamlinedProxy};
     pub use crate::queues::{EnqueueOutcome, PortQueue, QueueConfig, QueueStats};
-    pub use crate::sim::{RunReport, Simulator, StopReason};
+    pub use crate::sim::{RunReport, Simulator, StopReason, TerminatedReason};
     pub use crate::time::{Bandwidth, SimDuration, SimTime};
     pub use crate::topology::{
         two_dc_leaf_spine, two_dc_unstructured, LinkProps, NodeRole, Topology, TopologyBuilder,

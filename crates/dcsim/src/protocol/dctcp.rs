@@ -596,6 +596,31 @@ impl Agent for DctcpSender {
             self.reset_timer(ctx);
         }
     }
+
+    fn on_restore(&mut self, ctx: &mut Ctx) {
+        if self.is_complete() {
+            return;
+        }
+        if !self.started {
+            // The FlowStart event died while the host was down.
+            self.on_start(ctx);
+            return;
+        }
+        // An RTO that fired during the outage was consumed without a
+        // handler, leaving no pending timer. Treat the outage as a
+        // timeout: reset the window, offer everything outstanding again
+        // and re-arm the RTO clock.
+        self.cwnd = self.config.min_cwnd_bytes as f64;
+        self.last_decrease = Some(ctx.now);
+        if let Some(f) = &mut self.failover {
+            f.last_feedback = ctx.now;
+        }
+        for seq in self.outstanding.drain_to_vec() {
+            self.queue_rtx(seq);
+        }
+        self.try_send(ctx);
+        self.reset_timer(ctx);
+    }
 }
 
 /// Re-exported for tests and experiment code: one full data packet's

@@ -272,16 +272,25 @@ impl RateSender {
         if self.done {
             return;
         }
-        if self.outstanding.len() < self.inflight_cap() {
-            if let Some((seq, is_retx)) = self.next_seq_to_send() {
-                if is_retx {
-                    ctx.count(Counter::Retransmits, 1);
-                }
-                self.outstanding.insert(seq);
-                self.send_snapshot[seq as usize] = Some((ctx.now, self.delivered));
-                let pkt = Packet::data(self.flow, seq, self.src, self.to, ctx.now.0);
-                ctx.send(self.src, pkt);
+        if self.outstanding.len() >= self.inflight_cap() {
+            // Inflight-capped: nothing to send until feedback arrives (an
+            // ACK/NACK or the RTO re-arms the pace clock). Crucially,
+            // leave the timers alone — a no-op tick that called
+            // `arm_rto` here would push the RTO deadline out by a full
+            // RTO every pace gap, so the timeout could never fire while
+            // every in-flight packet sat lost in a downed link: a
+            // livelock (found by the chaos fuzzer as an event-cap blowup
+            // and a stuck-flow violation).
+            return;
+        }
+        if let Some((seq, is_retx)) = self.next_seq_to_send() {
+            if is_retx {
+                ctx.count(Counter::Retransmits, 1);
             }
+            self.outstanding.insert(seq);
+            self.send_snapshot[seq as usize] = Some((ctx.now, self.delivered));
+            let pkt = Packet::data(self.flow, seq, self.src, self.to, ctx.now.0);
+            ctx.send(self.src, pkt);
         }
         self.arm_rto(ctx);
     }
@@ -392,6 +401,28 @@ impl Agent for RateSender {
         if self.started {
             self.arm_pace(ctx);
         }
+    }
+
+    fn on_restore(&mut self, ctx: &mut Ctx) {
+        if self.done || self.is_complete() {
+            return;
+        }
+        if !self.started {
+            // The FlowStart event died while the host was down.
+            self.on_start(ctx);
+            return;
+        }
+        // Pace/RTO ticks that fired during the outage were consumed
+        // without a handler (and `pace_armed` may stale-claim a pending
+        // tick). Requeue everything outstanding and restart both clocks.
+        self.est.on_timeout();
+        for seq in self.outstanding.drain_to_vec() {
+            if !self.acked.contains(seq) && self.rtx_pending.insert(seq) {
+                self.rtx_queue.push_back(seq);
+            }
+        }
+        self.pace_armed = false;
+        self.arm_rto(ctx);
     }
 }
 

@@ -178,6 +178,64 @@ impl PortQueue {
         self.stats
     }
 
+    /// The configuration this queue was built with.
+    pub fn config(&self) -> &QueueConfig {
+        &self.config
+    }
+
+    /// Cross-checks the queue's internal accounting (for the invariant
+    /// auditor): tracked byte counters must match the queued packets, each
+    /// class must hold only its own packets, and the enqueue/dequeue
+    /// counters must agree with the current length. (Capacity bounds are
+    /// checked by the simulator against [`PortQueue::config`], as a
+    /// separate violation class.) O(len), so callers should only invoke it
+    /// at audit checkpoints.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let data_sum: u64 = self.data.iter().map(|p| p.size).sum();
+        let ctrl_sum: u64 = self.ctrl.iter().map(|p| p.size).sum();
+        if data_sum != self.data_bytes {
+            return Err(format!(
+                "data byte counter {} != queued data bytes {data_sum}",
+                self.data_bytes
+            ));
+        }
+        if ctrl_sum != self.ctrl_bytes {
+            return Err(format!(
+                "ctrl byte counter {} != queued ctrl bytes {ctrl_sum}",
+                self.ctrl_bytes
+            ));
+        }
+        if let Some(p) = self.data.iter().find(|p| p.is_control()) {
+            return Err(format!(
+                "control packet {:?} seq {} in the data queue",
+                p.kind, p.seq
+            ));
+        }
+        if let Some(p) = self.ctrl.iter().find(|p| !p.is_control()) {
+            return Err(format!(
+                "data packet {:?} seq {} in the control queue",
+                p.kind, p.seq
+            ));
+        }
+        let net = self
+            .stats
+            .enqueued_pkts
+            .checked_sub(self.stats.dequeued_pkts)
+            .ok_or_else(|| {
+                format!(
+                    "dequeued {} exceeds enqueued {}",
+                    self.stats.dequeued_pkts, self.stats.enqueued_pkts
+                )
+            })?;
+        if net != self.len() as u64 {
+            return Err(format!(
+                "enqueued - dequeued = {net} but {} packets are queued",
+                self.len()
+            ));
+        }
+        Ok(())
+    }
+
     /// ECN mark probability at occupancy `qlen` (bytes): 0 below the low
     /// threshold, 1 at or above the high threshold, linear ramp between.
     fn mark_probability(&self, qlen: u64) -> f64 {

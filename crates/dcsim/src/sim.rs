@@ -2,6 +2,7 @@
 //! forwarding with packet spraying, and agent dispatch.
 
 use crate::agent::{Agent, Counter, Ctx, Effect};
+use crate::audit::{AuditConfig, AuditMode, InvariantViolation, PacketLedger};
 use crate::events::{Event, EventQueue, FaultEvent, TimerHandle};
 use crate::faults::{FaultError, FaultPlan};
 use crate::metrics::SimMetrics;
@@ -9,6 +10,8 @@ use crate::packet::{AgentId, FlowId, HostId, NodeId, Packet, PacketKind, PortId}
 use crate::queues::{EnqueueOutcome, PortQueue, QueueStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeRole, Topology};
+use serde::{Deserialize, Serialize};
+use std::fmt;
 use trace::{derive_seed, SplitMix64};
 
 /// Why [`Simulator::run`] returned.
@@ -23,8 +26,35 @@ pub enum StopReason {
     EventCap,
 }
 
+/// How a run terminated, for reporting: [`StopReason`] folded together with
+/// the auditor's verdict so sweep binaries stop inferring completion from
+/// side channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminatedReason {
+    /// The simulator went idle: every flow finished, every timer expired.
+    Completed,
+    /// The time limit was reached with events still pending.
+    TimeLimit,
+    /// The event-count safety cap was reached.
+    EventCap,
+    /// The invariant auditor (in collect mode) recorded at least one
+    /// violation; see [`RunReport::violations`].
+    InvariantViolation,
+}
+
+impl fmt::Display for TerminatedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TerminatedReason::Completed => "completed",
+            TerminatedReason::TimeLimit => "time-limit",
+            TerminatedReason::EventCap => "event-cap",
+            TerminatedReason::InvariantViolation => "invariant-violation",
+        })
+    }
+}
+
 /// Outcome of a run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Why the run stopped.
     pub stop: StopReason,
@@ -32,6 +62,25 @@ pub struct RunReport {
     pub end_time: SimTime,
     /// Events processed during this call.
     pub events: u64,
+    /// Invariant violations recorded during this call (always empty unless
+    /// auditing runs in [`AuditMode::Collect`]; strict mode panics instead).
+    pub violations: Vec<InvariantViolation>,
+}
+
+impl RunReport {
+    /// Folds the stop reason and the auditor's verdict into one label.
+    /// Violations take precedence: a run that "completed" while breaking an
+    /// invariant did not meaningfully complete.
+    pub fn terminated_reason(&self) -> TerminatedReason {
+        if !self.violations.is_empty() {
+            return TerminatedReason::InvariantViolation;
+        }
+        match self.stop {
+            StopReason::Idle => TerminatedReason::Completed,
+            StopReason::TimeLimit => TerminatedReason::TimeLimit,
+            StopReason::EventCap => TerminatedReason::EventCap,
+        }
+    }
 }
 
 struct PortRuntime {
@@ -79,6 +128,23 @@ pub struct Simulator {
     /// Dedicated RNG stream for impairment draws, separate from the
     /// spraying/ECN stream so fault plans never perturb routing draws.
     fault_rng: SplitMix64,
+    /// Invariant auditing; `None` (the default) maintains the ledger but
+    /// never checks it. See [`crate::audit`].
+    audit: Option<AuditConfig>,
+    /// Packet ledger: every packet's creation and terminal disposition.
+    /// Maintained unconditionally (a few integer increments per packet);
+    /// only cross-checked when auditing is enabled.
+    ledger: PacketLedger,
+    /// Sim-time of each flow's most recent packet activity (injection or
+    /// delivery), indexed by `FlowId`; `None` until the flow first moves a
+    /// packet. Feeds the liveness watchdog.
+    flow_activity: Vec<Option<SimTime>>,
+    /// Flows already reported as stuck, so the watchdog flags each wedged
+    /// flow once instead of at every checkpoint.
+    stuck_flagged: Vec<bool>,
+    /// Violations collected since the last `run` call returned
+    /// ([`AuditMode::Collect`] only).
+    violations: Vec<InvariantViolation>,
 }
 
 impl Simulator {
@@ -109,7 +175,30 @@ impl Simulator {
             crashed: Vec::new(),
             timer_slots: Vec::new(),
             fault_rng: SplitMix64::new(derive_seed(seed, 0xFA_0175)),
+            audit: None,
+            ledger: PacketLedger::default(),
+            flow_activity: Vec::new(),
+            stuck_flagged: Vec::new(),
+            violations: Vec::new(),
         }
+    }
+
+    /// Enables invariant auditing for subsequent `run` calls. Checks run at
+    /// the end of every `run` call and, if configured, every N processed
+    /// events. Auditing never perturbs the simulation (no RNG draws, no
+    /// state changes): a run is bit-identical with auditing on or off.
+    pub fn set_audit(&mut self, config: AuditConfig) {
+        self.audit = Some(config);
+    }
+
+    /// The installed audit configuration, if any.
+    pub fn audit_config(&self) -> Option<&AuditConfig> {
+        self.audit.as_ref()
+    }
+
+    /// The packet ledger (maintained whether or not auditing is enabled).
+    pub fn ledger(&self) -> &PacketLedger {
+        &self.ledger
     }
 
     /// Installs a [`FaultPlan`]: validates it against this simulator's
@@ -238,6 +327,11 @@ impl Simulator {
         self.traces[port.index()].as_deref().unwrap_or(&[])
     }
 
+    /// Number of registered agents (agent ids are `0..agent_count`).
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
     /// Registers an agent, returning its id.
     pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
         let id = AgentId(self.agents.len() as u32);
@@ -305,6 +399,11 @@ impl Simulator {
                 }
                 Event::Fault(fault) => self.apply_fault(now, fault),
             }
+            if let Some(every) = self.audit.and_then(|a| a.check_every_events) {
+                if processed.is_multiple_of(every) {
+                    self.run_audit_checks(false);
+                }
+            }
         }
     }
 
@@ -344,15 +443,167 @@ impl Simulator {
                 if let Some(flag) = self.crashed.get_mut(agent.index()) {
                     *flag = false;
                 }
+                // Flow starts and timer fires addressed to the agent while
+                // it was down were consumed without a handler; give it a
+                // chance to restart its clocks.
+                self.dispatch(now, agent, |a, ctx| a.on_restore(ctx));
             }
         }
     }
 
-    fn report(&self, stop: StopReason, events: u64) -> RunReport {
+    fn report(&mut self, stop: StopReason, events: u64) -> RunReport {
+        if self.audit.is_some() {
+            self.run_audit_checks(stop == StopReason::Idle);
+        }
         RunReport {
             stop,
             end_time: self.now(),
             events,
+            violations: std::mem::take(&mut self.violations),
+        }
+    }
+
+    /// Records the flow's most recent packet activity (for the liveness
+    /// watchdog).
+    #[inline]
+    fn note_flow_activity(&mut self, now: SimTime, flow: FlowId) {
+        if self.flow_activity.len() <= flow.index() {
+            self.flow_activity.resize(flow.index() + 1, None);
+        }
+        self.flow_activity[flow.index()] = Some(now);
+    }
+
+    /// Runs every invariant check and routes violations per the audit mode:
+    /// strict panics with the structured report, collect stores them for
+    /// the next [`RunReport`]. `idle` marks an end-of-run check with an
+    /// empty event queue, where an incomplete flow is stuck by definition.
+    fn run_audit_checks(&mut self, idle: bool) {
+        let Some(config) = self.audit else {
+            return;
+        };
+        let now = self.now();
+        let census = self.events.census();
+        let mut found: Vec<InvariantViolation> = Vec::new();
+
+        // Packet conservation: every created packet is either terminally
+        // disposed of or demonstrably in flight (queued on a port, or
+        // riding a pending Arrival/Inject event).
+        let in_queues: u64 = self.ports.iter().map(|p| p.queue.len() as u64).sum();
+        if self.ledger.created != self.ledger.terminal() + in_queues + census.packets {
+            found.push(InvariantViolation::PacketConservation {
+                at: now,
+                ledger: self.ledger,
+                in_queues,
+                in_events: census.packets,
+            });
+        }
+
+        // Queue sanity: per-port accounting and capacity bounds.
+        for (i, rt) in self.ports.iter().enumerate() {
+            let port = PortId(i as u32);
+            let q = &rt.queue;
+            let cfg = q.config();
+            if q.data_bytes() > cfg.capacity_bytes || q.ctrl_bytes() > cfg.ctrl_capacity_bytes {
+                found.push(InvariantViolation::QueueOverCapacity {
+                    at: now,
+                    port,
+                    data_bytes: q.data_bytes(),
+                    data_capacity: cfg.capacity_bytes,
+                    ctrl_bytes: q.ctrl_bytes(),
+                    ctrl_capacity: cfg.ctrl_capacity_bytes,
+                });
+            }
+            if let Err(detail) = q.check_invariants() {
+                found.push(InvariantViolation::QueueAccounting {
+                    at: now,
+                    port,
+                    detail,
+                });
+            }
+        }
+
+        // Timer accounting, extending the PR 3 churn counters: every armed
+        // timer fired, was canceled, or is still pending — and the
+        // slot/generation protocol never let a stale timer pop through.
+        let churn = self.metrics.timer_churn;
+        if churn.armed != churn.fired + churn.canceled + census.timers || churn.discarded_stale != 0
+        {
+            found.push(InvariantViolation::TimerAccounting {
+                at: now,
+                armed: churn.armed,
+                fired: churn.fired,
+                canceled: churn.canceled,
+                pending: census.timers,
+                discarded_stale: churn.discarded_stale,
+            });
+        }
+
+        // Flow liveness watchdog: a bound, started, uncrashed, incomplete
+        // flow that has been silent past the horizon — or any such flow at
+        // all once the simulator is idle, since no pending event can ever
+        // complete it.
+        if let Some(horizon) = config.liveness_horizon {
+            if self.stuck_flagged.len() < self.flows.len() {
+                self.stuck_flagged.resize(self.flows.len(), false);
+            }
+            for i in 0..self.flows.len() {
+                let flow = FlowId(i as u32);
+                if self.stuck_flagged[i]
+                    || self.flows[i].endpoints.is_empty()
+                    || self.metrics.completion(flow).is_some()
+                {
+                    continue;
+                }
+                if self.flows[i]
+                    .endpoints
+                    .iter()
+                    .any(|&(_, a)| self.is_agent_crashed(a))
+                {
+                    continue;
+                }
+                let Some(last) = self.flow_activity.get(i).copied().flatten() else {
+                    // Never moved a packet: only damning once the queue is
+                    // empty (its start event may simply not have fired yet).
+                    if idle {
+                        self.stuck_flagged[i] = true;
+                        found.push(InvariantViolation::StuckFlow {
+                            at: now,
+                            flow,
+                            last_activity: SimTime::ZERO,
+                            idle,
+                        });
+                    }
+                    continue;
+                };
+                if idle || now >= last + horizon {
+                    self.stuck_flagged[i] = true;
+                    found.push(InvariantViolation::StuckFlow {
+                        at: now,
+                        flow,
+                        last_activity: last,
+                        idle,
+                    });
+                }
+            }
+        }
+
+        if found.is_empty() {
+            return;
+        }
+        match config.mode {
+            AuditMode::Strict => {
+                let mut msg = format!(
+                    "invariant audit failed at {now} ({} violation{}):",
+                    found.len(),
+                    if found.len() == 1 { "" } else { "s" }
+                );
+                for v in &found {
+                    msg.push_str("\n  - ");
+                    msg.push_str(&v.to_string());
+                }
+                panic!("{msg}");
+            }
+            AuditMode::Collect => self.violations.extend(found),
         }
     }
 
@@ -371,8 +622,11 @@ impl Simulator {
                     // The host process is down: the packet is destroyed on
                     // arrival instead of reaching a handler.
                     self.metrics.count(Counter::PacketsLostToFault, 1);
+                    self.ledger.lost_to_crash += 1;
                     return;
                 }
+                self.ledger.delivered += 1;
+                self.note_flow_activity(now, packet.flow);
                 self.dispatch(now, agent, |a, ctx| a.on_packet(packet, ctx));
             }
             _ => {
@@ -404,10 +658,15 @@ impl Simulator {
     }
 
     fn enqueue_on_port(&mut self, now: SimTime, port: PortId, mut packet: Packet) {
+        // Any packet offered to a port counts as forward progress for its
+        // flow — an RTO retransmission into a dead link is activity, so the
+        // liveness watchdog only flags flows that stopped *trying*.
+        self.note_flow_activity(now, packet.flow);
         if self.link_down[port.index()] {
             // A down link blackholes everything offered to it; packets
             // already queued stay put and drain after link-up.
             self.metrics.count(Counter::PacketsLostToFault, 1);
+            self.ledger.lost_to_fault += 1;
             return;
         }
         let (loss, corrupt) = self.impairments[port.index()];
@@ -415,6 +674,7 @@ impl Simulator {
             let draw = self.fault_rng.next_f64();
             if draw < loss {
                 self.metrics.count(Counter::PacketsLostToFault, 1);
+                self.ledger.lost_to_fault += 1;
                 return;
             }
             if draw < loss + corrupt {
@@ -422,9 +682,11 @@ impl Simulator {
                     // Corrupted payload: deliver the header only, like a
                     // trimming switch, so the receiver can NACK it.
                     packet.trim();
+                    self.ledger.trimmed += 1;
                 } else {
                     // Control packets have nothing to trim: destroyed.
                     self.metrics.count(Counter::PacketsLostToFault, 1);
+                    self.ledger.lost_to_fault += 1;
                     return;
                 }
             }
@@ -432,6 +694,11 @@ impl Simulator {
         let outcome = self.ports[port.index()]
             .queue
             .enqueue(packet, &mut self.rng);
+        match outcome {
+            EnqueueOutcome::Trimmed => self.ledger.trimmed += 1,
+            EnqueueOutcome::Dropped => self.ledger.dropped_queue += 1,
+            EnqueueOutcome::Queued => {}
+        }
         self.sample_trace(now, port);
         if outcome != EnqueueOutcome::Dropped {
             self.try_start_tx(now, port);
@@ -536,6 +803,7 @@ impl Simulator {
                     delay,
                 } => {
                     assert_ne!(packet.dst, from, "packet addressed to its own host");
+                    self.ledger.created += 1;
                     let node = self.topo.host_node(from);
                     let egress = self.topo.ports_of(node);
                     assert_eq!(egress.len(), 1, "host {from} must have exactly one NIC");
@@ -919,6 +1187,91 @@ mod dispatch_tests {
                 .counter(crate::agent::Counter::PacketsLostToFault)
                 > 0,
             "the outage overlaps the transfer"
+        );
+    }
+
+    /// The strict auditor (with the liveness watchdog armed) must stay
+    /// silent through a faulty but recovering run: link flap, blackholed
+    /// packets, RTO retransmissions — everything still conserves.
+    #[test]
+    fn strict_audit_is_clean_through_a_link_flap() {
+        let topo = two_dc_leaf_spine(&TwoDcParams::small_test());
+        let mut sim = Simulator::new(topo, 7);
+        sim.set_audit(
+            crate::audit::AuditConfig::strict()
+                .every(Some(1_000))
+                .with_liveness(SimDuration::from_secs(10)),
+        );
+        let dst = sim.topology().hosts_in_dc(1)[0];
+        let down_tor = sim.topology().down_tor_port(dst);
+        let handle = install_flow(
+            &mut sim,
+            FlowSpec::new(HostId(0), dst, 2_000_000),
+            SimTime::ZERO,
+        );
+        let down = SimTime::ZERO + SimDuration::from_micros(50);
+        let plan = crate::faults::FaultPlan::new().link_down_window(
+            down_tor,
+            down,
+            down + SimDuration::from_micros(300),
+        );
+        sim.install_faults(&plan).expect("valid plan");
+        let report = sim.run(Some(SimTime::ZERO + SimDuration::from_secs(30)));
+        assert_eq!(report.stop, crate::sim::StopReason::Idle);
+        assert!(report.violations.is_empty());
+        assert_eq!(
+            report.terminated_reason(),
+            crate::sim::TerminatedReason::Completed
+        );
+        assert!(sim.metrics().completion(handle.flow).is_some());
+        // At idle nothing is in flight: the ledger must balance exactly.
+        let ledger = *sim.ledger();
+        assert_eq!(ledger.created, ledger.terminal());
+        assert!(ledger.delivered > 0);
+        assert!(ledger.lost_to_fault > 0, "the outage destroyed packets");
+    }
+
+    /// A sender that fires one packet and never retransmits wedges its
+    /// flow; the collect-mode watchdog must flag it when the simulator
+    /// goes idle with the flow incomplete.
+    #[test]
+    fn collect_mode_flags_a_wedged_flow_at_idle() {
+        struct OneShot {
+            src: HostId,
+            dst: HostId,
+        }
+        impl Agent for OneShot {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                let pkt = Packet::data(crate::packet::FlowId(0), 0, self.src, self.dst, 0);
+                ctx.send(self.src, pkt);
+            }
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx) {}
+        }
+        struct Swallow;
+        impl Agent for Swallow {
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx) {}
+        }
+        let mut sim = Simulator::new(two_dc_leaf_spine(&TwoDcParams::small_test()), 1);
+        sim.set_audit(
+            crate::audit::AuditConfig::collect().with_liveness(SimDuration::from_secs(1)),
+        );
+        let (src, dst) = (HostId(0), HostId(1));
+        let flow = sim.new_flow();
+        let tx = sim.add_agent(Box::new(OneShot { src, dst }));
+        let rx = sim.add_agent(Box::new(Swallow));
+        sim.bind(flow, src, tx);
+        sim.bind(flow, dst, rx);
+        sim.schedule_start(SimTime::ZERO, tx);
+        let report = sim.run(None);
+        assert_eq!(report.stop, crate::sim::StopReason::Idle);
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            report.violations[0],
+            crate::audit::InvariantViolation::StuckFlow { idle: true, .. }
+        ));
+        assert_eq!(
+            report.terminated_reason(),
+            crate::sim::TerminatedReason::InvariantViolation
         );
     }
 

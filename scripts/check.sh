@@ -35,4 +35,12 @@ cargo test "${OFFLINE[@]}" --test timer_identity -q
 echo "== cargo test"
 cargo test --workspace "${OFFLINE[@]}" -q
 
+echo "== chaos fuzz (bounded campaign, fixed seed range; repros land in target/fuzz-repros)"
+cargo run --release "${OFFLINE[@]}" -q -p bench --bin fuzz -- --count 500 --start-seed 1
+
+echo "== chaos repro replay (committed shrunk repros, determinism + expectation)"
+for repro in crates/bench/tests/repros/*.json; do
+  cargo run --release "${OFFLINE[@]}" -q -p bench --bin fuzz -- --replay "$repro"
+done
+
 echo "All checks passed."
