@@ -2,27 +2,35 @@
 //! invariant auditor, with shrinking and replayable repro files.
 //!
 //! ```text
-//! fuzz [--count N] [--start-seed S] [--jobs J] [--out DIR]
-//!      [--shrink-budget N] [--replay FILE]
+//! fuzz [--control-plane] [--count N] [--start-seed S] [--jobs J]
+//!      [--out DIR] [--shrink-budget N] [--replay FILE]
 //! ```
 //!
 //! Campaign mode (default): generates and runs `--count` scenarios from
 //! consecutive fuzz seeds. Every failure (panic, invariant violation,
 //! event-cap livelock) is shrunk to a minimal scenario that fails the
 //! same way and written to `--out` as a JSON repro file. Exits non-zero
-//! when any scenario failed.
+//! when any scenario failed. With `--control-plane` the campaign runs
+//! the sharded-orchestrator fuzzer ([`bench::cpfuzz`]) instead of the
+//! full-simulator one: shard crashes mid-incast, stale placements, and
+//! gossip delayed past lease expiry, checked against a lease-lifecycle
+//! model and the lease ledger.
 //!
 //! Replay mode (`--replay FILE`): loads a repro file, runs its scenario
 //! **twice**, checks the two runs are identical (determinism) and that
 //! the outcome matches the file's `expect` field (`"clean"` or a failure
-//! kind). Exits non-zero on mismatch or divergence.
+//! kind). The fuzzer family is auto-detected from the file's `"type"`
+//! tag, so one replay loop covers both. Exits non-zero on mismatch or
+//! divergence.
 
+use bench::cpfuzz;
 use bench::fuzz::{
     check_replay, failure_kind, run_campaign, Finding, ReproFile, Scenario, DEFAULT_SHRINK_BUDGET,
 };
 
 #[derive(Debug, Clone)]
 struct Cli {
+    control_plane: bool,
     count: u64,
     start_seed: u64,
     jobs: usize,
@@ -34,6 +42,7 @@ struct Cli {
 impl Default for Cli {
     fn default() -> Self {
         Cli {
+            control_plane: false,
             count: 500,
             start_seed: 1,
             jobs: 0,
@@ -48,8 +57,8 @@ fn parse_args() -> Cli {
     let mut cli = Cli::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
-    let usage = "usage: fuzz [--count N] [--start-seed S] [--jobs J] [--out DIR] \
-                 [--shrink-budget N] [--replay FILE]";
+    let usage = "usage: fuzz [--control-plane] [--count N] [--start-seed S] [--jobs J] \
+                 [--out DIR] [--shrink-budget N] [--replay FILE]";
     while let Some(arg) = it.next() {
         let mut value = || {
             it.next()
@@ -57,6 +66,7 @@ fn parse_args() -> Cli {
                 .clone()
         };
         match arg.as_str() {
+            "--control-plane" => cli.control_plane = true,
             "--count" => cli.count = value().parse().expect("--count: integer"),
             "--start-seed" => cli.start_seed = value().parse().expect("--start-seed: integer"),
             "--jobs" => cli.jobs = value().parse().expect("--jobs: integer"),
@@ -92,6 +102,58 @@ fn describe(sc: &Scenario) -> String {
     )
 }
 
+fn describe_cp(sc: &cpfuzz::CpScenario) -> String {
+    format!(
+        "shards={} candidates={} incasts={} ttl={}us heartbeat={}us \
+         suspect={}us gossip_delay={}us dup_release_every={} crashes={}",
+        sc.shards,
+        sc.candidates,
+        sc.incasts,
+        sc.lease_ttl_us,
+        sc.heartbeat_us,
+        sc.suspect_after_us,
+        sc.gossip_delay_us,
+        sc.double_release_every,
+        sc.faults.shard_crashes.len(),
+    )
+}
+
+fn replay_cp(path: &str, text: &str) -> i32 {
+    let repro = match cpfuzz::CpReproFile::from_json(text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fuzz: {path} is tagged control-plane but malformed: {e}");
+            return 2;
+        }
+    };
+    println!("replaying {path} (control-plane)");
+    println!("  {}", describe_cp(&repro.scenario));
+    if !repro.note.is_empty() {
+        println!("  note: {}", repro.note);
+    }
+    let (outcome, deterministic) = cpfuzz::check_replay(&repro.scenario);
+    println!(
+        "  outcome: ops={} stats={:?} violation={:?} panic={:?}",
+        outcome.ops, outcome.stats, outcome.violation, outcome.panic
+    );
+    if !deterministic {
+        eprintln!("fuzz: REPLAY DIVERGED — two runs of the same scenario differed");
+        return 1;
+    }
+    println!("  deterministic: two consecutive runs identical");
+    if repro.matches(&outcome) {
+        println!("  expectation {:?}: satisfied", repro.expect);
+        0
+    } else {
+        eprintln!(
+            "fuzz: expectation {:?} NOT met (observed {:?})",
+            repro.expect,
+            cpfuzz::failure_kind(&outcome).as_deref().unwrap_or("clean")
+        );
+        1
+    }
+}
+
 fn replay_file(path: &str) -> i32 {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -100,6 +162,9 @@ fn replay_file(path: &str) -> i32 {
             return 2;
         }
     };
+    if cpfuzz::is_control_plane_repro(&text) {
+        return replay_cp(path, &text);
+    }
     // Accept a full repro file or a bare scenario.
     let (repro, bare) = match ReproFile::from_json(&text) {
         Ok(r) => (r, false),
@@ -180,10 +245,75 @@ fn write_finding(out_dir: &str, finding: &Finding) -> std::io::Result<String> {
     Ok(path)
 }
 
+fn write_cp_finding(out_dir: &str, finding: &cpfuzz::CpFinding) -> std::io::Result<String> {
+    std::fs::create_dir_all(out_dir)?;
+    let repro = cpfuzz::CpReproFile {
+        found_with_seed: finding.seed,
+        expect: finding.kind.clone(),
+        note: format!(
+            "found by control-plane fuzz campaign; shrunk in {} runs; detail: {}",
+            finding.shrink_runs,
+            finding
+                .outcome
+                .violation
+                .as_ref()
+                .map(|(_, d)| d.as_str())
+                .or(finding.outcome.panic.as_deref())
+                .unwrap_or("-")
+        ),
+        scenario: finding.shrunk.clone(),
+    };
+    let path = format!(
+        "{out_dir}/cp-repro-seed{}-{}.json",
+        finding.seed, finding.kind
+    );
+    std::fs::write(&path, repro.to_json())?;
+    Ok(path)
+}
+
+fn control_plane_campaign(cli: &Cli) -> i32 {
+    println!(
+        "== fuzz --control-plane: {} scenarios from seed {} (shrink budget {}) ==",
+        cli.count, cli.start_seed, cli.shrink_budget
+    );
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let findings = cpfuzz::run_campaign(cli.start_seed, cli.count, cli.jobs, cli.shrink_budget);
+    std::panic::set_hook(default_hook);
+
+    if findings.is_empty() {
+        println!("all {} control-plane scenarios clean", cli.count);
+        return 0;
+    }
+    eprintln!("{} failing control-plane scenario(s):", findings.len());
+    for finding in &findings {
+        eprintln!(
+            "  seed {}: {} — {}",
+            finding.seed,
+            finding.kind,
+            describe_cp(&finding.shrunk)
+        );
+        if let Some(p) = &finding.outcome.panic {
+            eprintln!("    panic: {p}");
+        }
+        if let Some((kind, detail)) = &finding.outcome.violation {
+            eprintln!("    {kind}: {detail}");
+        }
+        match write_cp_finding(&cli.out, finding) {
+            Ok(path) => eprintln!("    repro written to {path}"),
+            Err(e) => eprintln!("    failed to write repro: {e}"),
+        }
+    }
+    1
+}
+
 fn main() {
     let cli = parse_args();
     if let Some(path) = &cli.replay {
         std::process::exit(replay_file(path));
+    }
+    if cli.control_plane {
+        std::process::exit(control_plane_campaign(&cli));
     }
 
     println!(

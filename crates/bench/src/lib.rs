@@ -18,6 +18,7 @@ use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+pub mod cpfuzz;
 pub mod fuzz;
 
 /// Command-line options shared by the reproduction binaries.

@@ -12,7 +12,12 @@
 //!
 //! Every replay runs the scenario **twice** and asserts the runs are
 //! identical, so the suite also pins the fuzzer's determinism guarantee.
+//!
+//! Repros come in two families, dispatched on the file's `"type"` tag:
+//! full-simulator scenarios (`bench::fuzz`) and sharded control-plane
+//! scenarios (`bench::cpfuzz`, tagged `"control-plane"`).
 
+use bench::cpfuzz;
 use bench::fuzz::{check_replay, failure_kind, ReproFile};
 
 fn repro_dir() -> std::path::PathBuf {
@@ -35,6 +40,22 @@ fn committed_repros_replay_deterministically_and_match_expectations() {
     for path in paths {
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         let text = std::fs::read_to_string(&path).expect("readable repro");
+        if cpfuzz::is_control_plane_repro(&text) {
+            let repro = cpfuzz::CpReproFile::from_json(&text)
+                .unwrap_or_else(|e| panic!("{name}: unparsable control-plane repro: {e}"));
+            let (outcome, deterministic) = cpfuzz::check_replay(&repro.scenario);
+            assert!(
+                deterministic,
+                "{name}: two consecutive replays diverged: {outcome:?}"
+            );
+            assert!(
+                repro.matches(&outcome),
+                "{name}: expected {:?}, observed {:?} ({outcome:?})",
+                repro.expect,
+                cpfuzz::failure_kind(&outcome).as_deref().unwrap_or("clean"),
+            );
+            continue;
+        }
         let repro =
             ReproFile::from_json(&text).unwrap_or_else(|e| panic!("{name}: unparsable repro: {e}"));
         let (outcome, deterministic) = check_replay(&repro.scenario);

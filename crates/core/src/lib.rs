@@ -15,8 +15,9 @@
 //!   Proxy Streamlined) wired onto the `dcsim` simulator.
 //! * [`experiment`] — the seeded experiment harness behind every figure.
 //! * [`orchestrator`] — proxy selection across concurrent incasts
-//!   (§5 Future work #3): a global orchestrator and a decentralized
-//!   trial-based variant.
+//!   (§5 Future work #3): a global orchestrator, a decentralized
+//!   trial-based variant, and a sharded crash-tolerant control plane
+//!   with leases, health gossip, and graceful degradation.
 //! * [`lossdetect`] — reorder-tolerant packet-loss tracking without switch
 //!   trimming support (§5 Future work #1), with bounded memory.
 //! * [`declare`] — the programming abstraction of §6: applications declare

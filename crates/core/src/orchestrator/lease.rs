@@ -1,0 +1,233 @@
+//! Epoch-stamped proxy leases.
+//!
+//! A sharded control plane cannot hand out permanent assignments: a shard
+//! that crashes takes its assignment table with it, and a permanent
+//! assignment nobody remembers is a leak (the proxy's capacity is gone
+//! until a human notices). Leases bound that damage in sim time — an
+//! assignment the holder stops renewing becomes reclaimable the moment it
+//! expires, no matter which shard granted it or whether that shard still
+//! exists.
+//!
+//! Every lease is stamped with the granting shard's epoch (bumped on each
+//! restart), so a lease surviving from before a crash is distinguishable
+//! from one granted after. Ledger entries flow through
+//! [`dcsim::audit::LeaseLedger`], the audit-layer balance
+//! `granted == released + expired + reclaimed + active` that the chaos
+//! fuzzer checks after every operation.
+
+use dcsim::audit::LeaseLedger;
+use dcsim::det::DetMap;
+use dcsim::packet::HostId;
+use dcsim::time::SimTime;
+
+/// One proxy assignment with an expiry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// The proxy host the incast was steered to.
+    pub proxy: HostId,
+    /// Granting shard's epoch at grant (or re-grant) time.
+    pub epoch: u64,
+    /// When the lease was granted.
+    pub granted_at: SimTime,
+    /// When it lapses unless renewed.
+    pub expires_at: SimTime,
+    /// Load the assignment pins on the proxy.
+    pub bytes: u64,
+}
+
+/// Result of a renewal attempt against the sharded control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenewOutcome {
+    /// The owning shard extended the lease in place.
+    Renewed,
+    /// The owner is gone; a sibling (or the restored owner under a new
+    /// epoch) re-granted the lease. The placement is unchanged but the
+    /// holder should treat it as fresh.
+    Reclaimed,
+    /// The owner is gone and no live shard suspects it yet — gossip has
+    /// not converged. The lease still counts as active (draining); the
+    /// holder should retry next epoch.
+    Pending,
+    /// The lease ran out its term before the renewal arrived. The holder
+    /// must request a fresh selection.
+    Expired,
+    /// No shard has any record of this id.
+    Unknown,
+}
+
+/// One shard's lease table. All mutations feed the shared ledger so the
+/// global balance holds no matter how leases migrate between shards.
+#[derive(Debug, Clone, Default)]
+pub struct LeaseTable {
+    leases: DetMap<u64, Lease>,
+}
+
+impl LeaseTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live leases in this table.
+    pub fn len(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// True when no leases are held.
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+
+    /// The lease for `id`, if this table holds it.
+    pub fn get(&self, id: u64) -> Option<&Lease> {
+        self.leases.get(&id)
+    }
+
+    /// Records a fresh grant.
+    ///
+    /// # Panics
+    /// Panics if `id` already holds a lease here — the caller must route a
+    /// duplicate select through the same "already has a proxy" guard the
+    /// other selectors use.
+    pub fn grant(&mut self, id: u64, lease: Lease, ledger: &mut LeaseLedger) {
+        let prior = self.leases.insert(id, lease);
+        assert!(prior.is_none(), "incast {id} already has a lease");
+        ledger.granted += 1;
+        ledger.active += 1;
+    }
+
+    /// Re-homes a lease reclaimed from a crashed shard: the old grant is
+    /// retired as `reclaimed` and a fresh grant (same proxy, the adopting
+    /// shard's epoch) takes its place.
+    pub fn adopt(&mut self, id: u64, lease: Lease, ledger: &mut LeaseLedger) {
+        ledger.reclaimed += 1;
+        ledger.active -= 1;
+        self.grant(id, lease, ledger);
+    }
+
+    /// Extends `id`'s lease to `expires_at`; false if not held here.
+    pub fn extend(&mut self, id: u64, expires_at: SimTime) -> bool {
+        match self.leases.get_mut(&id) {
+            Some(lease) => {
+                lease.expires_at = expires_at;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases `id`'s lease, returning it; `None` if not held here.
+    pub fn release(&mut self, id: u64, ledger: &mut LeaseLedger) -> Option<Lease> {
+        let lease = self.leases.remove(&id)?;
+        ledger.released += 1;
+        ledger.active -= 1;
+        Some(lease)
+    }
+
+    /// Removes and returns every lease due at or before `now`, marking
+    /// them expired in the ledger.
+    pub fn expire_due(&mut self, now: SimTime, ledger: &mut LeaseLedger) -> Vec<(u64, Lease)> {
+        let due: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, lease)| lease.expires_at <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        due.into_iter()
+            .map(|id| {
+                let lease = self.leases.remove(&id).expect("collected above");
+                ledger.expired += 1;
+                ledger.active -= 1;
+                (id, lease)
+            })
+            .collect()
+    }
+
+    /// Drains the whole table (shard crash): the leases stay `active` in
+    /// the ledger — they are not gone, merely orphaned — and the caller
+    /// parks them in its draining set.
+    pub fn drain_all(&mut self) -> Vec<(u64, Lease)> {
+        let ids: Vec<u64> = self.leases.iter().map(|(&id, _)| id).collect();
+        ids.into_iter()
+            .map(|id| (id, self.leases.remove(&id).expect("collected above")))
+            .collect()
+    }
+
+    /// Iterates over held leases in deterministic (id) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &Lease)> {
+        self.leases.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lease(expires_at: u64) -> Lease {
+        Lease {
+            proxy: HostId(3),
+            epoch: 1,
+            granted_at: SimTime(0),
+            expires_at: SimTime(expires_at),
+            bytes: 100,
+        }
+    }
+
+    #[test]
+    fn grant_release_balances() {
+        let mut table = LeaseTable::new();
+        let mut ledger = LeaseLedger::default();
+        table.grant(7, lease(1000), &mut ledger);
+        assert!(ledger.balanced());
+        assert_eq!(ledger.active, 1);
+        assert!(table.release(7, &mut ledger).is_some());
+        assert!(ledger.balanced());
+        assert_eq!(ledger.active, 0);
+        assert_eq!(ledger.released, 1);
+        assert!(table.release(7, &mut ledger).is_none(), "idempotent");
+        assert!(ledger.balanced());
+    }
+
+    #[test]
+    fn expiry_is_time_driven() {
+        let mut table = LeaseTable::new();
+        let mut ledger = LeaseLedger::default();
+        table.grant(1, lease(1000), &mut ledger);
+        table.grant(2, lease(2000), &mut ledger);
+        assert!(table.expire_due(SimTime(999), &mut ledger).is_empty());
+        let due = table.expire_due(SimTime(1000), &mut ledger);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].0, 1);
+        assert_eq!(ledger.expired, 1);
+        assert_eq!(ledger.active, 1);
+        assert!(ledger.balanced());
+        assert!(table.extend(2, SimTime(5000)));
+        assert!(table.expire_due(SimTime(2000), &mut ledger).is_empty());
+    }
+
+    #[test]
+    fn drain_keeps_leases_active_and_adopt_reclaims() {
+        let mut table = LeaseTable::new();
+        let mut ledger = LeaseLedger::default();
+        table.grant(1, lease(1000), &mut ledger);
+        let orphans = table.drain_all();
+        assert_eq!(orphans.len(), 1);
+        assert_eq!(ledger.active, 1, "draining is not terminal");
+        assert!(ledger.balanced());
+        let mut sibling = LeaseTable::new();
+        sibling.adopt(1, orphans[0].1, &mut ledger);
+        assert!(ledger.balanced());
+        assert_eq!(ledger.reclaimed, 1);
+        assert_eq!(ledger.granted, 2, "reclaim re-grants");
+        assert_eq!(ledger.active, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a lease")]
+    fn double_grant_panics() {
+        let mut table = LeaseTable::new();
+        let mut ledger = LeaseLedger::default();
+        table.grant(1, lease(1000), &mut ledger);
+        table.grant(1, lease(1000), &mut ledger);
+    }
+}

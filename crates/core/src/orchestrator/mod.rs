@@ -5,7 +5,7 @@
 //! requires frequent updates on proxy status, or in a decentralized manner
 //! with repeated trials by individual incast."
 //!
-//! Both designs are implemented behind one trait:
+//! Three designs are implemented behind one trait:
 //!
 //! * [`GlobalOrchestrator`] — a central allocator with a complete load
 //!   view; picks the least-loaded eligible proxy, O(candidates) per
@@ -13,9 +13,26 @@
 //! * [`DecentralizedSelector`] — each incast probes `k` random candidates
 //!   (power-of-k-choices) and claims the least loaded; claims can conflict
 //!   under stale views, counted and retried.
+//! * [`sharded::ShardedOrchestrator`] — the crash-tolerant middle ground:
+//!   orchestrator state is sharded by victim ToR, assignments are
+//!   epoch-stamped [`lease::Lease`]s that expire in sim time unless
+//!   renewed, shards exchange [`gossip`] health views piggybacked on
+//!   heartbeats, and shard failure degrades gracefully (sibling takeover
+//!   when gossip has converged, per-request decentralized fallback when it
+//!   has not, wholesale decentralized fallback when a majority of shards
+//!   is dead). A global [`dcsim::audit::LeaseLedger`] balances
+//!   `granted == released + expired + reclaimed + active` at every step.
+
+pub mod gossip;
+pub mod lease;
+pub mod sharded;
+
+pub use lease::{Lease, RenewOutcome};
+pub use sharded::{ShardedConfig, ShardedOrchestrator, ShardedStats};
 
 use dcsim::det::DetMap;
 use dcsim::packet::HostId;
+use dcsim::time::SimTime;
 use serde::Serialize;
 use trace::SplitMix64;
 
@@ -63,6 +80,26 @@ pub trait ProxySelector {
     /// Clears an unhealthy mark (e.g. a sender failed back after the proxy
     /// recovered). Default: no-op.
     fn report_healthy(&mut self, _proxy: HostId) {}
+
+    /// Advances the selector's control-plane clock: delivers due gossip,
+    /// expires overdue leases, emits heartbeats. Default: no-op, for
+    /// selectors without a clock (their assignments never expire).
+    fn advance_to(&mut self, _now: SimTime) {}
+
+    /// Renews the lease of a still-running incast. Selectors without
+    /// leases hold assignments forever, so the default renewal always
+    /// succeeds in place.
+    fn renew(&mut self, _id: u64, _now: SimTime) -> RenewOutcome {
+        RenewOutcome::Renewed
+    }
+
+    /// Number of [`ProxySelector::release`] calls that named an id with no
+    /// active assignment — double releases, releases after lease expiry,
+    /// or plain bugs. Audited by the control-plane fuzzer: an unexpected
+    /// count means an assignment leaked somewhere.
+    fn release_unknown(&self) -> u64 {
+        0
+    }
 }
 
 fn eligible(candidate: HostId, request: &IncastRequest) -> bool {
@@ -80,6 +117,9 @@ pub struct GlobalOrchestrator {
     active: DetMap<u64, (HostId, u64)>,
     /// Candidates reported unhealthy; excluded until reported healthy.
     unhealthy: Vec<HostId>,
+    /// Releases that named no active assignment (see
+    /// [`ProxySelector::release_unknown`]).
+    release_unknown: u64,
 }
 
 impl GlobalOrchestrator {
@@ -99,6 +139,7 @@ impl GlobalOrchestrator {
             load,
             active: DetMap::new(),
             unhealthy: Vec::new(),
+            release_unknown: 0,
         }
     }
 
@@ -136,11 +177,17 @@ impl ProxySelector for GlobalOrchestrator {
         if let Some((proxy, bytes)) = self.active.remove(&id) {
             let l = self.load.get_mut(&proxy).expect("known candidate");
             *l = l.saturating_sub(bytes);
+        } else {
+            self.release_unknown += 1;
         }
     }
 
     fn load_of(&self, proxy: HostId) -> u64 {
         self.load.get(&proxy).copied().unwrap_or(0)
+    }
+
+    fn release_unknown(&self) -> u64 {
+        self.release_unknown
     }
 
     fn report_unhealthy(&mut self, proxy: HostId) {
@@ -171,6 +218,8 @@ pub struct DecentralizedSelector {
     rng: SplitMix64,
     /// Total conflicts observed (for the orchestration ablation).
     pub conflicts: u64,
+    /// Releases that named no active assignment.
+    release_unknown: u64,
 }
 
 impl DecentralizedSelector {
@@ -190,6 +239,7 @@ impl DecentralizedSelector {
             conflict_probability: 0.0,
             rng: SplitMix64::new(seed),
             conflicts: 0,
+            release_unknown: 0,
         }
     }
 
@@ -256,11 +306,17 @@ impl ProxySelector for DecentralizedSelector {
         if let Some((proxy, bytes)) = self.active.remove(&id) {
             let l = self.load.get_mut(&proxy).expect("known candidate");
             *l = l.saturating_sub(bytes);
+        } else {
+            self.release_unknown += 1;
         }
     }
 
     fn load_of(&self, proxy: HostId) -> u64 {
         self.load.get(&proxy).copied().unwrap_or(0)
+    }
+
+    fn release_unknown(&self) -> u64 {
+        self.release_unknown
     }
 }
 
@@ -313,7 +369,22 @@ mod tests {
         orch.release(1);
         assert_eq!(orch.load_of(a.proxy), 0);
         assert_eq!(orch.active_incasts(), 0);
-        orch.release(1); // Idempotent.
+        assert_eq!(orch.release_unknown(), 0);
+        orch.release(1); // Idempotent, but audited.
+        assert_eq!(orch.load_of(a.proxy), 0);
+        assert_eq!(orch.release_unknown(), 1);
+    }
+
+    #[test]
+    fn unknown_releases_are_counted_not_ignored() {
+        let mut orch = GlobalOrchestrator::new(hosts(2));
+        orch.release(99); // Never assigned.
+        assert_eq!(orch.release_unknown(), 1);
+        let mut sel = DecentralizedSelector::new(hosts(4), 2, 7);
+        sel.select(&request(1, 10)).unwrap();
+        sel.release(1);
+        sel.release(1); // Double release.
+        assert_eq!(sel.release_unknown(), 1);
     }
 
     #[test]

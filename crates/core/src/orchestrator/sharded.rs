@@ -1,0 +1,776 @@
+//! The sharded, crash-tolerant incast control plane.
+//!
+//! [`ShardedOrchestrator`] splits the orchestrator's assignment state into
+//! shards keyed by victim (receiver) host, so one shard crash orphans only
+//! the incasts homed on it. Assignments are [`Lease`]s that expire in sim
+//! time unless renewed; shards monitor each other with heartbeat-driven
+//! health [`gossip`](super::gossip) and degrade gracefully along a ladder:
+//!
+//! 1. **Home shard alive** — grant and renew there; the fast path is the
+//!    same least-loaded scan the [`GlobalOrchestrator`] uses.
+//! 2. **Home shard dead, gossip converged** — the ring successor suspects
+//!    the corpse and serves in its place (takeover); orphaned leases are
+//!    adopted one by one as their holders renew.
+//! 3. **Home shard dead, gossip not yet converged** — the successor cannot
+//!    distinguish a crash from slow gossip, so the request falls back to
+//!    decentralized power-of-k probing rather than risking a split brain.
+//!    Renewals of orphaned leases return [`RenewOutcome::Pending`] until
+//!    suspicion firms up.
+//! 4. **Majority of shards dead** — the control plane stops pretending:
+//!    every request takes the decentralized path until shards restore.
+//!
+//! A crashed shard's leases move to a *draining* set: still `active` in
+//! the global [`LeaseLedger`], but their load and membership view are
+//! lost, which is precisely the stale-placement hazard the fuzzer hunts —
+//! a fresh grant landing on a proxy that also appears among draining
+//! leases is counted as a [`ShardedStats::stale_conflicts`]. The ledger
+//! balance `granted == released + expired + reclaimed + active` holds
+//! after every operation, and `active` drains to zero at quiescence.
+
+use std::collections::VecDeque;
+
+use super::gossip::{HealthView, Heartbeat};
+use super::lease::{Lease, LeaseTable, RenewOutcome};
+use super::{eligible, Assignment, DecentralizedSelector, IncastRequest, ProxySelector};
+use dcsim::audit::LeaseLedger;
+use dcsim::det::{DetMap, DetSet};
+use dcsim::packet::HostId;
+use dcsim::time::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// Timing and sizing knobs of the sharded control plane.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of shards the assignment state is split into.
+    pub shards: u32,
+    /// Lease term; a lease not renewed within this window expires.
+    pub lease_ttl: SimDuration,
+    /// Heartbeat (and piggybacked gossip) period per shard.
+    pub heartbeat_every: SimDuration,
+    /// Silence horizon after which a shard is suspected dead. Must exceed
+    /// `heartbeat_every + gossip_delay` or healthy shards get suspected.
+    pub suspect_after: SimDuration,
+    /// One-way delivery delay of a heartbeat.
+    pub gossip_delay: SimDuration,
+    /// Probes per trial of the decentralized fallback.
+    pub fallback_probes: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            lease_ttl: SimDuration::from_millis(5),
+            heartbeat_every: SimDuration::from_millis(1),
+            suspect_after: SimDuration::from_millis(3),
+            gossip_delay: SimDuration::from_micros(200),
+            fallback_probes: 2,
+        }
+    }
+}
+
+/// Observable behavior counters of the degradation ladder.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ShardedStats {
+    /// Grants served by a ring successor on behalf of a dead home shard.
+    pub takeovers: u64,
+    /// Grants routed to the decentralized fallback (ladder rungs 3–4).
+    pub fallback_selections: u64,
+    /// Fresh grants that landed on a proxy also named by a draining lease
+    /// (a placement conflict with state a dead shard lost track of).
+    pub stale_conflicts: u64,
+    /// Orphaned leases adopted by a live shard on renewal.
+    pub reclaims: u64,
+    /// Leases that ran out their term without renewal.
+    pub expirations: u64,
+    /// Releases that named no active assignment.
+    pub release_unknown: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Shard {
+    /// Bumped on every restart; stamps the leases this shard grants.
+    epoch: u64,
+    /// Heartbeats sent since (re)start; cycles the extra gossip partner.
+    beats: u64,
+    alive: bool,
+    table: LeaseTable,
+    view: HealthView,
+    next_heartbeat: SimTime,
+}
+
+/// Sharded control plane; see the module docs for the design.
+#[derive(Debug, Clone)]
+pub struct ShardedOrchestrator {
+    candidates: Vec<HostId>,
+    /// Load per candidate across all shard-granted leases (the fallback
+    /// keeps its own books).
+    load: DetMap<HostId, u64>,
+    unhealthy: Vec<HostId>,
+    shards: Vec<Shard>,
+    /// Orphaned leases of crashed shards: still active in the ledger,
+    /// owner recorded for adoption. Load and view are lost with the crash.
+    draining: DetMap<u64, (u32, Lease)>,
+    /// Ids whose lease expired; lets renew/release distinguish "expired"
+    /// from "never existed".
+    expired: DetSet<u64>,
+    fallback: DecentralizedSelector,
+    /// Ids served by the fallback instead of a shard lease.
+    fallback_ids: DetSet<u64>,
+    in_flight: VecDeque<Heartbeat>,
+    ledger: LeaseLedger,
+    stats: ShardedStats,
+    config: ShardedConfig,
+    now: SimTime,
+}
+
+impl ShardedOrchestrator {
+    /// Creates a sharded control plane over the given candidate set.
+    ///
+    /// # Panics
+    /// Panics on an empty candidate set or zero shards.
+    pub fn new(candidates: Vec<HostId>, config: ShardedConfig, seed: u64) -> Self {
+        assert!(!candidates.is_empty(), "no proxy candidates");
+        assert!(config.shards > 0, "need at least one shard");
+        let load = candidates.iter().map(|&c| (c, 0)).collect();
+        let shards = (0..config.shards)
+            .map(|_| Shard {
+                epoch: 1,
+                beats: 0,
+                alive: true,
+                table: LeaseTable::new(),
+                view: HealthView::fresh(config.shards, SimTime::ZERO),
+                next_heartbeat: SimTime::ZERO + config.heartbeat_every,
+            })
+            .collect();
+        ShardedOrchestrator {
+            fallback: DecentralizedSelector::new(
+                candidates.clone(),
+                config.fallback_probes,
+                seed ^ 0xFA11_BACC,
+            ),
+            candidates,
+            load,
+            unhealthy: Vec::new(),
+            shards,
+            draining: DetMap::new(),
+            expired: DetSet::new(),
+            fallback_ids: DetSet::new(),
+            in_flight: VecDeque::new(),
+            ledger: LeaseLedger::default(),
+            stats: ShardedStats::default(),
+            config,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The shard a victim's incasts are homed on.
+    pub fn shard_of(&self, receiver: HostId) -> u32 {
+        receiver.0 % self.config.shards
+    }
+
+    /// The global lease ledger (audited by the chaos fuzzer).
+    pub fn ledger(&self) -> &LeaseLedger {
+        &self.ledger
+    }
+
+    /// Degradation-ladder counters.
+    pub fn stats(&self) -> ShardedStats {
+        ShardedStats {
+            release_unknown: self.stats.release_unknown,
+            ..self.stats
+        }
+    }
+
+    /// Number of shards currently alive.
+    pub fn alive_shards(&self) -> u32 {
+        self.shards.iter().filter(|s| s.alive).count() as u32
+    }
+
+    /// Leases orphaned by crashed shards and not yet adopted or expired.
+    pub fn draining_leases(&self) -> usize {
+        self.draining.len()
+    }
+
+    /// True when `id` is currently served by the decentralized fallback
+    /// (such claims carry no lease term). Lets a harness model expiry.
+    pub fn serves_via_fallback(&self, id: u64) -> bool {
+        self.fallback_ids.contains(&id)
+    }
+
+    /// The shards a given live shard currently suspects dead.
+    pub fn suspects_of(&self, shard: u32) -> Vec<u32> {
+        let s = &self.shards[shard as usize];
+        (0..self.config.shards)
+            .filter(|&other| {
+                other != shard && s.view.suspects(other, self.now, self.config.suspect_after)
+            })
+            .collect()
+    }
+
+    /// True when every live shard suspects exactly the dead shards — the
+    /// gossip-converged steady state.
+    pub fn health_converged(&self) -> bool {
+        let dead: Vec<u32> = (0..self.config.shards)
+            .filter(|&s| !self.shards[s as usize].alive)
+            .collect();
+        (0..self.config.shards)
+            .filter(|&s| self.shards[s as usize].alive)
+            .all(|s| self.suspects_of(s) == dead)
+    }
+
+    fn majority_dead(&self) -> bool {
+        (self.alive_shards() as usize) * 2 < self.shards.len()
+    }
+
+    /// First live shard on the ring after `from` (exclusive).
+    fn successor(&self, from: u32) -> Option<u32> {
+        let n = self.config.shards;
+        (1..n)
+            .map(|step| (from + step) % n)
+            .find(|&s| self.shards[s as usize].alive)
+    }
+
+    /// Crashes a shard: its lease table is orphaned into the draining set
+    /// (the ledger keeps them active), its load view and health view die
+    /// with it.
+    pub fn crash_shard(&mut self, shard: u32) {
+        let idx = shard as usize;
+        if !self.shards[idx].alive {
+            return;
+        }
+        self.shards[idx].alive = false;
+        for (id, lease) in self.shards[idx].table.drain_all() {
+            let l = self.load.get_mut(&lease.proxy).expect("known candidate");
+            *l = l.saturating_sub(lease.bytes);
+            self.draining.insert(id, (shard, lease));
+        }
+    }
+
+    /// Restores a crashed shard under a fresh epoch with a conservative
+    /// (suspect-nobody) health view. Its orphaned leases stay draining
+    /// until their holders renew (adoption) or the term runs out.
+    pub fn restore_shard(&mut self, shard: u32, now: SimTime) {
+        let idx = shard as usize;
+        if self.shards[idx].alive {
+            return;
+        }
+        self.now = self.now.max(now);
+        let shards = self.config.shards;
+        let heartbeat = self.config.heartbeat_every;
+        let s = &mut self.shards[idx];
+        s.alive = true;
+        s.epoch += 1;
+        s.view = HealthView::fresh(shards, now);
+        s.next_heartbeat = now + heartbeat;
+    }
+
+    fn deliver_due_gossip(&mut self, now: SimTime) {
+        while let Some(hb) = self.in_flight.front() {
+            if hb.deliver_at > now {
+                break;
+            }
+            let hb = self.in_flight.pop_front().expect("peeked");
+            let to = &mut self.shards[hb.to as usize];
+            if !to.alive {
+                continue; // Delivered to a corpse: dropped on the floor.
+            }
+            to.view.observe(hb.from, hb.sent_at);
+            for (shard, at) in hb.view {
+                to.view.observe(shard, at);
+            }
+        }
+    }
+
+    fn expire_due(&mut self, now: SimTime) {
+        for idx in 0..self.shards.len() {
+            if !self.shards[idx].alive {
+                continue;
+            }
+            for (id, lease) in self.shards[idx].table.expire_due(now, &mut self.ledger) {
+                let l = self.load.get_mut(&lease.proxy).expect("known candidate");
+                *l = l.saturating_sub(lease.bytes);
+                self.expired.insert(id);
+                self.stats.expirations += 1;
+            }
+        }
+        let due: Vec<u64> = self
+            .draining
+            .iter()
+            .filter(|(_, (_, lease))| lease.expires_at <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            self.draining.remove(&id);
+            self.ledger.expired += 1;
+            self.ledger.active -= 1;
+            self.expired.insert(id);
+            self.stats.expirations += 1;
+        }
+    }
+
+    fn send_heartbeats(&mut self, now: SimTime) {
+        let n = self.config.shards;
+        for idx in 0..self.shards.len() {
+            if !self.shards[idx].alive {
+                continue;
+            }
+            // A shard far behind (e.g. the clock jumped past many periods)
+            // collapses the backlog into one beat rather than spamming.
+            if now
+                >= self.shards[idx].next_heartbeat + SimDuration(self.config.heartbeat_every.0 * 8)
+            {
+                self.shards[idx].next_heartbeat = now;
+            }
+            while self.shards[idx].next_heartbeat <= now {
+                let sent_at = self.shards[idx].next_heartbeat;
+                let from = idx as u32;
+                self.shards[idx].view.observe(from, sent_at);
+                let view = self.shards[idx].view.snapshot();
+                // Both ring neighbors (so views flow in either direction
+                // even when one neighbor is dead) plus one extra partner
+                // cycling deterministically through the remaining shards —
+                // any live pair exchanges a direct heartbeat at least once
+                // every `n` periods, which bounds convergence time even
+                // when crashes sever the ring.
+                let successor = (from + 1) % n;
+                let predecessor = (from + n - 1) % n;
+                let mut targets = vec![successor];
+                if !targets.contains(&predecessor) {
+                    targets.push(predecessor);
+                }
+                let others: Vec<u32> = (0..n)
+                    .filter(|&s| s != from && !targets.contains(&s))
+                    .collect();
+                if !others.is_empty() {
+                    targets.push(others[(self.shards[idx].beats % others.len() as u64) as usize]);
+                }
+                self.shards[idx].beats += 1;
+                for to in targets {
+                    if to == from {
+                        continue; // Single-shard plane: nobody to gossip with.
+                    }
+                    self.in_flight.push_back(Heartbeat {
+                        from,
+                        to,
+                        sent_at,
+                        deliver_at: sent_at + self.config.gossip_delay,
+                        view: view.clone(),
+                    });
+                }
+                self.shards[idx].next_heartbeat = sent_at + self.config.heartbeat_every;
+            }
+        }
+    }
+
+    fn holds(&self, id: u64) -> bool {
+        self.fallback_ids.contains(&id)
+            || self.draining.contains_key(&id)
+            || self.shards.iter().any(|s| s.table.get(id).is_some())
+    }
+
+    /// True when a draining lease pins `proxy` — a fresh grant there may
+    /// contend with a placement the dead owner can no longer coordinate.
+    fn conflicts_with_draining(&self, proxy: HostId) -> bool {
+        self.draining
+            .iter()
+            .any(|(_, (_, lease))| lease.proxy == proxy)
+    }
+
+    fn grant_at_shard(
+        &mut self,
+        shard: u32,
+        request: &IncastRequest,
+        now: SimTime,
+    ) -> Option<Assignment> {
+        let proxy = *self
+            .candidates
+            .iter()
+            .filter(|&&c| eligible(c, request) && !self.unhealthy.contains(&c))
+            .min_by_key(|&&c| (self.load[&c], c.0))?;
+        let s = &mut self.shards[shard as usize];
+        let lease = Lease {
+            proxy,
+            epoch: s.epoch,
+            granted_at: now,
+            expires_at: now + self.config.lease_ttl,
+            bytes: request.expected_bytes,
+        };
+        s.table.grant(request.id, lease, &mut self.ledger);
+        *self.load.get_mut(&proxy).expect("known candidate") += request.expected_bytes;
+        if self.conflicts_with_draining(proxy) {
+            self.stats.stale_conflicts += 1;
+        }
+        Some(Assignment { proxy, trials: 1 })
+    }
+
+    fn fallback_select(&mut self, request: &IncastRequest) -> Option<Assignment> {
+        let assignment = self.fallback.select(request)?;
+        self.fallback_ids.insert(request.id);
+        self.ledger.granted += 1;
+        self.ledger.active += 1;
+        self.stats.fallback_selections += 1;
+        if self.conflicts_with_draining(assignment.proxy) {
+            self.stats.stale_conflicts += 1;
+        }
+        Some(assignment)
+    }
+
+    fn adopt(&mut self, id: u64, adopter: u32, now: SimTime) {
+        let (_, lease) = self.draining.remove(&id).expect("caller checked");
+        let s = &mut self.shards[adopter as usize];
+        let adopted = Lease {
+            epoch: s.epoch,
+            granted_at: now,
+            expires_at: now + self.config.lease_ttl,
+            ..lease
+        };
+        s.table.adopt(id, adopted, &mut self.ledger);
+        *self.load.get_mut(&lease.proxy).expect("known candidate") += lease.bytes;
+        self.stats.reclaims += 1;
+    }
+}
+
+impl ProxySelector for ShardedOrchestrator {
+    fn select(&mut self, request: &IncastRequest) -> Option<Assignment> {
+        assert!(
+            !self.holds(request.id),
+            "incast {} already has a proxy",
+            request.id
+        );
+        let now = self.now;
+        if self.majority_dead() {
+            return self.fallback_select(request);
+        }
+        let home = self.shard_of(request.receiver);
+        if self.shards[home as usize].alive {
+            return self.grant_at_shard(home, request, now);
+        }
+        match self.successor(home) {
+            Some(successor)
+                if self.shards[successor as usize].view.suspects(
+                    home,
+                    now,
+                    self.config.suspect_after,
+                ) =>
+            {
+                let assignment = self.grant_at_shard(successor, request, now);
+                if assignment.is_some() {
+                    self.stats.takeovers += 1;
+                }
+                assignment
+            }
+            // Gossip has not converged on the crash (or no shard is left):
+            // rather than grant from a shard that may be wrong, degrade to
+            // the coordination-free path.
+            _ => self.fallback_select(request),
+        }
+    }
+
+    fn release(&mut self, id: u64) {
+        if self.fallback_ids.remove(&id) {
+            self.fallback.release(id);
+            self.ledger.released += 1;
+            self.ledger.active -= 1;
+            return;
+        }
+        for idx in 0..self.shards.len() {
+            if !self.shards[idx].alive {
+                continue;
+            }
+            if let Some(lease) = self.shards[idx].table.release(id, &mut self.ledger) {
+                let l = self.load.get_mut(&lease.proxy).expect("known candidate");
+                *l = l.saturating_sub(lease.bytes);
+                return;
+            }
+        }
+        if self.draining.remove(&id).is_some() {
+            // The holder finished before anyone adopted the orphan; load
+            // was already written off at the crash.
+            self.ledger.released += 1;
+            self.ledger.active -= 1;
+            return;
+        }
+        self.stats.release_unknown += 1;
+    }
+
+    fn load_of(&self, proxy: HostId) -> u64 {
+        self.load.get(&proxy).copied().unwrap_or(0) + self.fallback.load_of(proxy)
+    }
+
+    fn report_unhealthy(&mut self, proxy: HostId) {
+        if !self.unhealthy.contains(&proxy) {
+            self.unhealthy.push(proxy);
+        }
+    }
+
+    fn report_healthy(&mut self, proxy: HostId) {
+        self.unhealthy.retain(|&p| p != proxy);
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        let now = now.max(self.now);
+        self.now = now;
+        self.deliver_due_gossip(now);
+        self.expire_due(now);
+        self.send_heartbeats(now);
+    }
+
+    fn renew(&mut self, id: u64, now: SimTime) -> RenewOutcome {
+        let now = now.max(self.now);
+        if self.fallback_ids.contains(&id) {
+            return RenewOutcome::Renewed; // Fallback claims carry no term.
+        }
+        let expires_at = now + self.config.lease_ttl;
+        for idx in 0..self.shards.len() {
+            if self.shards[idx].alive && self.shards[idx].table.extend(id, expires_at) {
+                return RenewOutcome::Renewed;
+            }
+        }
+        if let Some(&(owner, _)) = self.draining.get(&id) {
+            if self.shards[owner as usize].alive {
+                // The owner restored (new epoch) and re-learns the lease
+                // from its holder's renewal.
+                self.adopt(id, owner, now);
+                return RenewOutcome::Reclaimed;
+            }
+            return match self.successor(owner) {
+                Some(successor)
+                    if self.shards[successor as usize].view.suspects(
+                        owner,
+                        now,
+                        self.config.suspect_after,
+                    ) =>
+                {
+                    self.adopt(id, successor, now);
+                    RenewOutcome::Reclaimed
+                }
+                _ => RenewOutcome::Pending,
+            };
+        }
+        if self.expired.contains(&id) {
+            return RenewOutcome::Expired;
+        }
+        RenewOutcome::Unknown
+    }
+
+    fn release_unknown(&self) -> u64 {
+        self.stats.release_unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(n: u32) -> Vec<HostId> {
+        (0..n).map(HostId).collect()
+    }
+
+    fn request(id: u64, receiver: u32) -> IncastRequest {
+        IncastRequest {
+            id,
+            senders: vec![HostId(100), HostId(101)],
+            receiver: HostId(receiver),
+            expected_bytes: 100,
+        }
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    fn plane(shards: u32) -> ShardedOrchestrator {
+        ShardedOrchestrator::new(
+            hosts(8),
+            ShardedConfig {
+                shards,
+                ..ShardedConfig::default()
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn grants_home_and_releases_clean() {
+        let mut orch = plane(4);
+        let a = orch.select(&request(1, 201)).unwrap();
+        assert_eq!(orch.shard_of(HostId(201)), 1);
+        assert_eq!(orch.load_of(a.proxy), 100);
+        assert!(orch.ledger().balanced());
+        orch.release(1);
+        assert_eq!(orch.load_of(a.proxy), 0);
+        assert_eq!(orch.ledger().active, 0);
+        assert!(orch.ledger().balanced());
+    }
+
+    #[test]
+    fn unrenewed_leases_expire() {
+        let mut orch = plane(4);
+        orch.select(&request(1, 200)).unwrap();
+        orch.advance_to(t(10_000)); // Past the 5 ms TTL.
+        assert_eq!(orch.ledger().expired, 1);
+        assert_eq!(orch.ledger().active, 0);
+        assert!(orch.ledger().balanced());
+        assert_eq!(orch.renew(1, t(10_001)), RenewOutcome::Expired);
+        orch.release(1); // The holder's late release is audited, not lost.
+        assert_eq!(orch.release_unknown(), 1);
+    }
+
+    #[test]
+    fn renewal_extends_the_term() {
+        let mut orch = plane(4);
+        orch.select(&request(1, 200)).unwrap();
+        for step in 1..=4u64 {
+            orch.advance_to(t(step * 2_000));
+            assert_eq!(orch.renew(1, t(step * 2_000)), RenewOutcome::Renewed);
+        }
+        // 8 ms elapsed, well past the original 5 ms term.
+        assert_eq!(orch.ledger().expired, 0);
+        assert_eq!(orch.ledger().active, 1);
+    }
+
+    #[test]
+    fn crash_orphans_then_successor_reclaims_after_gossip() {
+        let mut orch = plane(4);
+        let a = orch.select(&request(1, 200)).unwrap(); // Home shard 0.
+        orch.crash_shard(0);
+        assert_eq!(orch.draining_leases(), 1);
+        assert_eq!(orch.load_of(a.proxy), 0, "crash loses the load view");
+        assert!(orch.ledger().balanced());
+        // Before gossip converges the renewal parks.
+        assert_eq!(orch.renew(1, t(100)), RenewOutcome::Pending);
+        // Let silence accumulate past suspect_after (3 ms) with heartbeats
+        // flowing among the survivors — but renew within the 5 ms term:
+        // parked (Pending) renewals do not stop the TTL clock.
+        for step in 1..=4u64 {
+            orch.advance_to(t(step * 1_000));
+        }
+        assert_eq!(orch.renew(1, t(4_000)), RenewOutcome::Reclaimed);
+        assert_eq!(orch.draining_leases(), 0);
+        assert_eq!(orch.ledger().reclaimed, 1);
+        assert_eq!(orch.load_of(a.proxy), 100, "adoption restores the load");
+        assert!(orch.ledger().balanced());
+        orch.release(1);
+        assert_eq!(orch.ledger().active, 0);
+        assert!(orch.ledger().balanced());
+    }
+
+    #[test]
+    fn dead_home_with_slow_gossip_falls_back() {
+        let mut orch = plane(4);
+        orch.crash_shard(0);
+        // Immediately after the crash nobody suspects shard 0 yet.
+        let a = orch.select(&request(1, 200)).unwrap();
+        assert_eq!(orch.stats().fallback_selections, 1);
+        assert_eq!(orch.stats().takeovers, 0);
+        assert!(orch.ledger().balanced());
+        orch.release(1);
+        assert_eq!(orch.ledger().active, 0);
+        let _ = a;
+    }
+
+    #[test]
+    fn dead_home_with_converged_gossip_takes_over() {
+        let mut orch = plane(4);
+        orch.crash_shard(0);
+        for step in 1..=8u64 {
+            orch.advance_to(t(step * 1_000));
+        }
+        assert!(orch.health_converged());
+        orch.select(&request(1, 200)).unwrap();
+        assert_eq!(orch.stats().takeovers, 1);
+        assert_eq!(orch.stats().fallback_selections, 0);
+    }
+
+    #[test]
+    fn majority_dead_degrades_to_decentralized() {
+        let mut orch = plane(4);
+        orch.crash_shard(0);
+        orch.crash_shard(1);
+        orch.crash_shard(2);
+        orch.select(&request(1, 203)).unwrap(); // Home shard 3 is alive...
+        assert_eq!(
+            orch.stats().fallback_selections,
+            1,
+            "...but a minority control plane must not pretend to coordinate"
+        );
+        orch.release(1);
+        assert!(orch.ledger().balanced());
+        assert_eq!(orch.ledger().active, 0);
+    }
+
+    #[test]
+    fn restored_owner_reclaims_its_own_orphans() {
+        let mut orch = plane(4);
+        orch.select(&request(1, 200)).unwrap();
+        orch.crash_shard(0);
+        orch.restore_shard(0, t(500));
+        assert_eq!(orch.renew(1, t(600)), RenewOutcome::Reclaimed);
+        assert_eq!(orch.ledger().reclaimed, 1);
+        assert!(orch.ledger().balanced());
+        // The re-granted lease is stamped with the post-restart epoch.
+        let lease = orch.shards[0].table.get(1).unwrap();
+        assert_eq!(lease.epoch, 2);
+    }
+
+    #[test]
+    fn stale_draining_placement_flags_conflicts() {
+        let mut orch = ShardedOrchestrator::new(
+            vec![HostId(0)], // One candidate: collisions guaranteed.
+            ShardedConfig {
+                shards: 2,
+                ..ShardedConfig::default()
+            },
+            7,
+        );
+        orch.select(&request(1, 200)).unwrap();
+        orch.crash_shard(0);
+        for step in 1..=8u64 {
+            orch.advance_to(t(step * 1_000));
+        }
+        // Shard 0's lease on host 0 is draining (and by now expired);
+        // regrant before expiry would conflict. Re-check within the term:
+        let mut orch2 = ShardedOrchestrator::new(
+            vec![HostId(0)],
+            ShardedConfig {
+                shards: 2,
+                suspect_after: SimDuration::from_micros(100),
+                ..ShardedConfig::default()
+            },
+            7,
+        );
+        orch2.select(&request(1, 200)).unwrap();
+        orch2.crash_shard(0);
+        for step in 1..=4u64 {
+            orch2.advance_to(t(step * 500));
+        }
+        orch2.select(&request(2, 201)).unwrap();
+        assert_eq!(orch2.stats().stale_conflicts, 1);
+        let _ = orch;
+    }
+
+    #[test]
+    fn gossip_converges_after_restore() {
+        let mut orch = plane(4);
+        orch.crash_shard(2);
+        for step in 1..=8u64 {
+            orch.advance_to(t(step * 1_000));
+        }
+        assert!(orch.health_converged());
+        orch.restore_shard(2, t(8_000));
+        for step in 9..=20u64 {
+            orch.advance_to(t(step * 1_000));
+        }
+        assert!(orch.health_converged(), "no shard suspected after heal");
+        assert_eq!(orch.suspects_of(0), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a proxy")]
+    fn double_select_panics() {
+        let mut orch = plane(2);
+        orch.select(&request(1, 200)).unwrap();
+        orch.select(&request(1, 200)).unwrap();
+    }
+}

@@ -18,11 +18,11 @@
 //! from [`crate::predict`], and any [`crate::orchestrator::ProxySelector`].
 
 use crate::detect::{IncastSignatureDetector, PeriodicityDetector, SignatureConfig};
-use crate::orchestrator::{IncastRequest, ProxySelector};
+use crate::orchestrator::{IncastRequest, ProxySelector, RenewOutcome};
 use crate::predict::{predict, IncastProfile};
 use dcsim::det::DetMap;
 use dcsim::packet::HostId;
-use dcsim::time::{Bandwidth, SimDuration};
+use dcsim::time::{Bandwidth, SimDuration, SimTime};
 use serde::Serialize;
 
 /// Static context the runtime needs about the deployment.
@@ -42,6 +42,10 @@ pub struct RuntimeConfig {
     pub history_epochs: usize,
     /// Minimum autocorrelation to trust a predicted period.
     pub min_confidence: f64,
+    /// Sim-time length of one observation epoch; positions the epoch
+    /// boundary on the selector's clock so leases expire and health
+    /// gossip flows in step with the control loop.
+    pub epoch_duration: SimDuration,
 }
 
 impl Default for RuntimeConfig {
@@ -54,6 +58,7 @@ impl Default for RuntimeConfig {
             release_after_quiet_epochs: 3,
             history_epochs: 64,
             min_confidence: 0.5,
+            epoch_duration: SimDuration::from_millis(1),
         }
     }
 }
@@ -139,6 +144,17 @@ impl<S: ProxySelector> OperatorRuntime<S> {
         self.epoch
     }
 
+    /// The proxy selector (for inspecting ledgers and stats).
+    pub fn selector(&self) -> &S {
+        &self.selector
+    }
+
+    /// Mutable selector access — how a harness injects control-plane
+    /// faults (shard crashes) between epochs.
+    pub fn selector_mut(&mut self) -> &mut S {
+        &mut self.selector
+    }
+
     /// The proxy currently serving `destination`, if rerouted.
     pub fn reroute_of(&self, destination: HostId) -> Option<HostId> {
         self.active.get(&destination).map(|a| a.proxy)
@@ -157,7 +173,29 @@ impl<S: ProxySelector> OperatorRuntime<S> {
     /// Closes the epoch: returns the actions to apply.
     pub fn end_epoch(&mut self) -> Vec<RuntimeAction> {
         self.epoch += 1;
+        let now = SimTime::ZERO + SimDuration(self.config.epoch_duration.0 * self.epoch);
         let mut actions = Vec::new();
+
+        // Lease upkeep first: advance the selector's clock (expiry, health
+        // gossip), then renew every active reroute. A selector that leases
+        // its assignments (the sharded control plane) may have lost one to
+        // a crash or expiry while we slept; a lapsed reroute is torn down
+        // here and — if its signature still fires — re-granted below under
+        // a fresh request id. Placements reclaimed by a sibling shard keep
+        // the same proxy, so the data plane sees nothing.
+        self.selector.advance_to(now);
+        let mut lapsed = Vec::new();
+        for (&dst, reroute) in &self.active {
+            match self.selector.renew(reroute.request_id, now) {
+                RenewOutcome::Renewed | RenewOutcome::Reclaimed | RenewOutcome::Pending => {}
+                RenewOutcome::Expired | RenewOutcome::Unknown => lapsed.push(dst),
+            }
+        }
+        for dst in lapsed {
+            self.active.remove(&dst).expect("collected above");
+            actions.push(RuntimeAction::Release { destination: dst });
+        }
+
         let incasts = self.signature.end_bin();
         let flagged: DetMap<HostId, usize> =
             incasts.iter().map(|s| (s.destination, s.degree)).collect();
@@ -272,7 +310,7 @@ impl<S: ProxySelector> OperatorRuntime<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::orchestrator::GlobalOrchestrator;
+    use crate::orchestrator::{GlobalOrchestrator, ShardedConfig, ShardedOrchestrator};
 
     /// Hosts 0..63 are DC 0, 64.. are DC 1 (the standard layout).
     fn dc_of(h: HostId) -> u32 {
@@ -405,6 +443,94 @@ mod tests {
             rt.reroute_of(EXPERT).is_some() || releases <= 2,
             "late-phase releases should stop: {releases}"
         );
+    }
+
+    fn sharded_runtime() -> OperatorRuntime<ShardedOrchestrator> {
+        let candidates: Vec<HostId> = (32..64).map(HostId).collect();
+        OperatorRuntime::new(
+            RuntimeConfig {
+                // Keep quiet-release out of the picture: these tests watch
+                // the lease lifecycle, not the traffic lifecycle.
+                release_after_quiet_epochs: 100,
+                ..Default::default()
+            },
+            SignatureConfig {
+                min_degree: 4,
+                min_bytes: 10_000_000,
+            },
+            dc_of,
+            ShardedOrchestrator::new(candidates, ShardedConfig::default(), 11),
+        )
+    }
+
+    fn burst_sharded(rt: &mut OperatorRuntime<ShardedOrchestrator>) {
+        for w in 0..8u32 {
+            rt.observe(HostId(w), EXPERT, 15_000_000);
+        }
+    }
+
+    #[test]
+    fn shard_crash_mid_reroute_heals_by_reclaim() {
+        let mut rt = sharded_runtime();
+        burst_sharded(&mut rt);
+        let actions = rt.end_epoch();
+        assert!(matches!(actions[0], RuntimeAction::Reroute { .. }));
+        let proxy = rt.reroute_of(EXPERT).unwrap();
+        // EXPERT (host 64) is homed on shard 64 % 4 == 0; kill it.
+        rt.selector_mut().crash_shard(0);
+        for _ in 0..5 {
+            burst_sharded(&mut rt);
+            let actions = rt.end_epoch();
+            assert!(
+                !actions
+                    .iter()
+                    .any(|a| matches!(a, RuntimeAction::Release { .. })),
+                "the reroute must survive the crash: {actions:?}"
+            );
+        }
+        assert_eq!(rt.reroute_of(EXPERT), Some(proxy), "placement unchanged");
+        assert_eq!(rt.selector().stats().reclaims, 1, "sibling adopted it");
+        assert!(rt.selector().ledger().balanced());
+    }
+
+    #[test]
+    fn total_control_plane_loss_lapses_then_regrants_via_fallback() {
+        let mut rt = sharded_runtime();
+        burst_sharded(&mut rt);
+        rt.end_epoch();
+        for shard in 0..4 {
+            rt.selector_mut().crash_shard(shard);
+        }
+        // Renewals park (nobody can adopt), so the 5 ms lease runs out
+        // around epoch 6; the runtime tears the lapsed reroute down and —
+        // because the incast is still firing — re-grants it in the same
+        // epoch through the decentralized fallback (majority dead).
+        let mut lapse_epoch = None;
+        for _ in 0..8 {
+            burst_sharded(&mut rt);
+            let actions = rt.end_epoch();
+            if actions
+                .iter()
+                .any(|a| matches!(a, RuntimeAction::Release { .. }))
+            {
+                assert!(
+                    actions
+                        .iter()
+                        .any(|a| matches!(a, RuntimeAction::Reroute { .. })),
+                    "a still-firing incast must be re-granted immediately: {actions:?}"
+                );
+                lapse_epoch = Some(rt.epoch());
+                break;
+            }
+        }
+        assert!(
+            lapse_epoch.is_some(),
+            "an unrenewable lease must eventually lapse"
+        );
+        assert!(rt.reroute_of(EXPERT).is_some(), "re-granted via fallback");
+        assert!(rt.selector().stats().fallback_selections >= 1);
+        assert_eq!(rt.selector().ledger().expired, 1);
+        assert!(rt.selector().ledger().balanced());
     }
 
     #[test]

@@ -420,16 +420,17 @@ fn install_naive(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
         let packets = packets_for_bytes(bytes);
 
         // Leg B: proxy → receiver, granted packet-by-packet by leg A's
-        // ingress. Created first so the ingress can hold its agent id.
+        // ingress. Created first so the ingress can hold its agent id; the
+        // ingress id in turn is knowable now (agents are numbered in
+        // creation order: relay, leg-B receiver, leg-A sender, ingress) so
+        // a relay that loses grants to a crash can ask it to resync.
         let flow_b = sim.new_flow();
         let cc_b = tune_cc(cc_for_path(sim, proxy_host, spec.receiver), spec);
-        let relay = sim.add_agent(Box::new(DctcpSender::relay(
-            flow_b,
-            proxy_host,
-            spec.receiver,
-            packets,
-            cc_b,
-        )));
+        let ingress_id = AgentId(sim.agent_count() as u32 + 3);
+        let relay = sim.add_agent(Box::new(
+            DctcpSender::relay(flow_b, proxy_host, spec.receiver, packets, cc_b)
+                .with_grant_source(ingress_id),
+        ));
         let recv_b = sim.add_agent(Box::new(Receiver::new(flow_b, spec.receiver, packets)));
         sim.bind(flow_b, proxy_host, relay);
         sim.bind(flow_b, spec.receiver, recv_b);
@@ -444,6 +445,7 @@ fn install_naive(sim: &mut Simulator, spec: &IncastSpec) -> IncastHandle {
         let ingress = sim.add_agent(Box::new(
             Receiver::new(flow_a, proxy_host, packets).with_grants_to(relay),
         ));
+        assert_eq!(ingress, ingress_id, "naive relay grant-source wiring");
         sim.bind(flow_a, src, sender);
         sim.bind(flow_a, proxy_host, ingress);
         sim.schedule_start(spec.start, sender);

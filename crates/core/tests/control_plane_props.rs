@@ -1,0 +1,256 @@
+//! Property tests for the sharded control plane.
+//!
+//! Two families:
+//!
+//! * **Lease lifecycle vs oracle** — [`LeaseTable`] (and the full
+//!   [`ShardedOrchestrator`] under random crash/restore interleavings) is
+//!   model-checked against a `BTreeMap` oracle of live leases; the
+//!   [`LeaseLedger`] balance `granted == released + expired + reclaimed +
+//!   active` must hold after every operation, and `active` must reach
+//!   zero once every lease is released or allowed to run out.
+//! * **Gossip convergence** — after an arbitrary crash/restore schedule
+//!   ends, every live shard's failure detector converges on exactly the
+//!   dead set within a bounded number of heartbeat rounds (the extra
+//!   gossip partner cycles deterministically, so any live pair exchanges
+//!   a direct heartbeat at least once every `shards` periods).
+
+use dcsim::audit::LeaseLedger;
+use dcsim::packet::HostId;
+use dcsim::time::{SimDuration, SimTime};
+use incast_core::orchestrator::lease::{Lease, LeaseTable};
+use incast_core::orchestrator::{
+    IncastRequest, ProxySelector, RenewOutcome, ShardedConfig, ShardedOrchestrator,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Decodes one fuzzed word into (op, id, tick). Ids live in a small space
+/// so grants, renewals, and releases of the *same* lease actually collide.
+fn decode(word: u64) -> (u64, u64, u64) {
+    (word % 8, (word >> 3) % 24, (word >> 8) % 64)
+}
+
+fn t(us: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_micros(us)
+}
+
+proptest! {
+    /// LeaseTable agrees with a BTreeMap oracle of live leases under a
+    /// random grant / extend / release / expire interleaving, and the
+    /// ledger balances after every operation.
+    #[test]
+    fn lease_table_matches_oracle(ops in prop::collection::vec(any::<u64>(), 1..300)) {
+        let mut table = LeaseTable::new();
+        let mut oracle: BTreeMap<u64, SimTime> = BTreeMap::new();
+        let mut ledger = LeaseLedger::default();
+        let mut now_us = 0u64;
+        for &word in &ops {
+            let (op, id, tick) = decode(word);
+            now_us += tick;
+            let now = t(now_us);
+            match op {
+                0..=2 => {
+                    if let std::collections::btree_map::Entry::Vacant(slot) = oracle.entry(id) {
+                        let expires_at = now + SimDuration::from_micros(40);
+                        table.grant(
+                            id,
+                            Lease {
+                                proxy: HostId(1),
+                                epoch: 1,
+                                granted_at: now,
+                                expires_at,
+                                bytes: 10,
+                            },
+                            &mut ledger,
+                        );
+                        slot.insert(expires_at);
+                    }
+                }
+                3 | 4 => {
+                    let expires_at = now + SimDuration::from_micros(40);
+                    let extended = table.extend(id, expires_at);
+                    prop_assert_eq!(extended, oracle.contains_key(&id));
+                    if extended {
+                        oracle.insert(id, expires_at);
+                    }
+                }
+                5 | 6 => {
+                    let released = table.release(id, &mut ledger);
+                    prop_assert_eq!(released.is_some(), oracle.remove(&id).is_some());
+                }
+                _ => {
+                    let due = table.expire_due(now, &mut ledger);
+                    let mut want: Vec<u64> = oracle
+                        .iter()
+                        .filter(|(_, &exp)| exp <= now)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    want.sort_unstable();
+                    let mut got: Vec<u64> = due.iter().map(|(id, _)| *id).collect();
+                    got.sort_unstable();
+                    prop_assert_eq!(got, want.clone());
+                    for id in want {
+                        oracle.remove(&id);
+                    }
+                }
+            }
+            prop_assert!(ledger.balanced(), "unbalanced: {:?}", ledger);
+            prop_assert_eq!(ledger.active as usize, oracle.len());
+            prop_assert_eq!(table.len(), oracle.len());
+        }
+        // Drain to quiescence: release everything still live.
+        let live: Vec<u64> = oracle.keys().copied().collect();
+        for id in live {
+            prop_assert!(table.release(id, &mut ledger).is_some());
+        }
+        prop_assert!(ledger.balanced());
+        prop_assert_eq!(ledger.active, 0);
+    }
+
+    /// The full sharded orchestrator keeps its ledger balanced under a
+    /// random select / renew / release / crash / restore interleaving, and
+    /// drains to zero active leases once the dust settles.
+    #[test]
+    fn sharded_ledger_balances_under_chaos(ops in prop::collection::vec(any::<u64>(), 1..200)) {
+        let candidates: Vec<HostId> = (0..8).map(HostId).collect();
+        let config = ShardedConfig {
+            shards: 4,
+            lease_ttl: SimDuration::from_micros(400),
+            heartbeat_every: SimDuration::from_micros(50),
+            suspect_after: SimDuration::from_micros(150),
+            gossip_delay: SimDuration::from_micros(10),
+            fallback_probes: 2,
+        };
+        let mut orch = ShardedOrchestrator::new(candidates, config, 9);
+        let mut next_id = 0u64;
+        let mut issued: Vec<u64> = Vec::new();
+        let mut now_us = 0u64;
+        for &word in &ops {
+            let (op, pick, tick) = decode(word);
+            now_us += tick;
+            orch.advance_to(t(now_us));
+            match op {
+                0 | 1 => {
+                    let id = next_id;
+                    next_id += 1;
+                    let selected = orch.select(&IncastRequest {
+                        id,
+                        senders: vec![HostId(100)],
+                        receiver: HostId(64 + (pick as u32 % 7)),
+                        expected_bytes: 50,
+                    });
+                    if selected.is_some() {
+                        issued.push(id);
+                    }
+                }
+                2 | 3 => {
+                    if !issued.is_empty() {
+                        let id = issued[pick as usize % issued.len()];
+                        let _ = orch.renew(id, t(now_us));
+                    }
+                }
+                4 | 5 => {
+                    if !issued.is_empty() {
+                        let id = issued[pick as usize % issued.len()];
+                        orch.release(id); // Repeats audit as release_unknown.
+                    }
+                }
+                6 => orch.crash_shard(pick as u32 % 4),
+                _ => orch.restore_shard(pick as u32 % 4, t(now_us)),
+            }
+            prop_assert!(
+                orch.ledger().balanced(),
+                "unbalanced after op {}: {:?}",
+                word,
+                orch.ledger()
+            );
+        }
+        // Quiescence: release every id ever issued (repeats and already-
+        // expired ones are audited, not lost), then run the clock far past
+        // the TTL so stragglers expire.
+        for &id in &issued {
+            orch.release(id);
+        }
+        now_us += 2_000;
+        orch.advance_to(t(now_us));
+        prop_assert!(orch.ledger().balanced(), "{:?}", orch.ledger());
+        prop_assert_eq!(orch.ledger().active, 0, "{:?}", orch.ledger());
+        prop_assert_eq!(orch.draining_leases(), 0);
+    }
+
+    /// After the last crash/restore event, every live shard's suspect set
+    /// converges on exactly the dead set within a bounded number of
+    /// heartbeat rounds.
+    #[test]
+    fn gossip_converges_within_bounded_rounds(
+        shards in 2u32..10,
+        events in prop::collection::vec(any::<u64>(), 0..12),
+    ) {
+        let heartbeat_us = 50u64;
+        let config = ShardedConfig {
+            shards,
+            lease_ttl: SimDuration::from_millis(100),
+            heartbeat_every: SimDuration::from_micros(heartbeat_us),
+            // A live pair exchanges a direct heartbeat at least once every
+            // `shards` periods, so this horizon never flags a live shard.
+            suspect_after: SimDuration::from_micros(heartbeat_us * (shards as u64 + 2) + 20),
+            gossip_delay: SimDuration::from_micros(10),
+            fallback_probes: 2,
+        };
+        let mut orch = ShardedOrchestrator::new(vec![HostId(0)], config, 3);
+        // Random crash/restore schedule, one event per heartbeat period.
+        let mut now_us = 0;
+        for &word in &events {
+            now_us += heartbeat_us;
+            orch.advance_to(t(now_us));
+            let shard = (word >> 1) as u32 % shards;
+            if word % 2 == 0 {
+                orch.crash_shard(shard);
+            } else {
+                orch.restore_shard(shard, t(now_us));
+            }
+        }
+        prop_assume!(orch.alive_shards() > 0);
+        // Bounded convergence: enough rounds for a full partner cycle plus
+        // the suspicion horizon, stepped at heartbeat granularity.
+        let rounds = 2 * (shards as u64 + 2) + 4;
+        for _ in 0..rounds {
+            now_us += heartbeat_us;
+            orch.advance_to(t(now_us));
+        }
+        prop_assert!(
+            orch.health_converged(),
+            "live shards disagree after {} rounds (alive={})",
+            rounds,
+            orch.alive_shards()
+        );
+    }
+
+    /// Renewing within the term always succeeds on a healthy plane, and
+    /// the outcome ladder never invents a lease: an id that was never
+    /// granted renews as Unknown.
+    #[test]
+    fn renewal_ladder_is_sound(id in 0u64..1000, ticks in 1u64..10) {
+        let mut orch = ShardedOrchestrator::new(
+            (0..4).map(HostId).collect(),
+            ShardedConfig::default(),
+            5,
+        );
+        prop_assert_eq!(orch.renew(id, t(0)), RenewOutcome::Unknown);
+        orch.select(&IncastRequest {
+            id,
+            senders: vec![HostId(100)],
+            receiver: HostId(200),
+            expected_bytes: 10,
+        }).unwrap();
+        let mut now_us = 0;
+        for _ in 0..ticks {
+            now_us += 2_000; // Well within the 5 ms TTL.
+            orch.advance_to(t(now_us));
+            prop_assert_eq!(orch.renew(id, t(now_us)), RenewOutcome::Renewed);
+        }
+        orch.release(id);
+        prop_assert_eq!(orch.ledger().active, 0);
+        prop_assert!(orch.ledger().balanced());
+    }
+}

@@ -135,6 +135,41 @@ impl PacketLedger {
     }
 }
 
+/// Counts every control-plane lease from grant to terminal disposition.
+///
+/// The sharded orchestrator (in the `core` crate) maintains one global
+/// ledger across all shards; the invariant is `granted == released +
+/// expired + reclaimed + active` at every step, and `active == 0` once the
+/// control plane has quiesced. Shard crashes move leases around (into the
+/// draining set, to a sibling, or to the decentralized fallback) but never
+/// out of the ledger, so the balance catches both leaks (a lease forgotten
+/// by everyone) and double-frees (a lease released twice).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaseLedger {
+    /// Leases ever granted, including re-grants after a reclaim.
+    pub granted: u64,
+    /// Leases released by their holder (the incast completed).
+    pub released: u64,
+    /// Leases that ran out their term without renewal.
+    pub expired: u64,
+    /// Stale leases taken over from a crashed shard and re-granted.
+    pub reclaimed: u64,
+    /// Leases currently live (granted, not yet terminal).
+    pub active: u64,
+}
+
+impl LeaseLedger {
+    /// Sum of terminal dispositions plus live leases.
+    pub fn accounted(&self) -> u64 {
+        self.released + self.expired + self.reclaimed + self.active
+    }
+
+    /// True when every grant is accounted for.
+    pub fn balanced(&self) -> bool {
+        self.granted == self.accounted()
+    }
+}
+
 /// A single invariant violation, with enough context to debug it.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum InvariantViolation {
@@ -180,6 +215,14 @@ pub enum InvariantViolation {
         last_activity: SimTime,
         idle: bool,
     },
+    /// The control-plane lease ledger does not balance: `granted !=
+    /// released + expired + reclaimed + active`, or leases were still
+    /// active after quiescence.
+    LeaseAccounting {
+        at: SimTime,
+        ledger: LeaseLedger,
+        detail: String,
+    },
 }
 
 impl InvariantViolation {
@@ -192,6 +235,7 @@ impl InvariantViolation {
             InvariantViolation::QueueAccounting { .. } => "QueueAccounting",
             InvariantViolation::TimerAccounting { .. } => "TimerAccounting",
             InvariantViolation::StuckFlow { .. } => "StuckFlow",
+            InvariantViolation::LeaseAccounting { .. } => "LeaseAccounting",
         }
     }
 }
@@ -258,6 +302,12 @@ impl fmt::Display for InvariantViolation {
                 } else {
                     ""
                 },
+            ),
+            InvariantViolation::LeaseAccounting { at, ledger, detail } => write!(
+                f,
+                "lease accounting broken at {at}: granted={} != released={} \
+                 + expired={} + reclaimed={} + active={} ({detail})",
+                ledger.granted, ledger.released, ledger.expired, ledger.reclaimed, ledger.active,
             ),
         }
     }

@@ -64,6 +64,22 @@ pub struct AgentCrash {
     pub restore_at: Option<SimTime>,
 }
 
+/// A scheduled control-plane shard crash, optionally followed by a
+/// restart. Shards are a concept of the orchestration layer (the `core`
+/// crate), not of the packet simulator: [`crate::sim::Simulator::install_faults`]
+/// ignores these entries, and the control-plane harness consumes them to
+/// drive its own clock. They live in the [`FaultPlan`] so one plan (and one
+/// fuzzer repro file) can describe a whole incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardCrash {
+    /// The orchestrator shard that crashes.
+    pub shard: u32,
+    /// Crash time.
+    pub at: SimTime,
+    /// Restart time (`None`: stays dead).
+    pub restore_at: Option<SimTime>,
+}
+
 /// Why a fault plan was rejected.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultError {
@@ -80,6 +96,12 @@ pub enum FaultError {
     /// A crash restore time is at or before the crash time.
     EmptyCrashWindow {
         agent: AgentId,
+        at: SimTime,
+        restore_at: SimTime,
+    },
+    /// A shard-crash restore time is at or before the crash time.
+    EmptyShardCrashWindow {
+        shard: u32,
         at: SimTime,
         restore_at: SimTime,
     },
@@ -133,6 +155,17 @@ impl fmt::Display for FaultError {
                 write!(
                     f,
                     "crash window for {agent} is empty: crash at {at}, restore at {restore_at}"
+                )
+            }
+            FaultError::EmptyShardCrashWindow {
+                shard,
+                at,
+                restore_at,
+            } => {
+                write!(
+                    f,
+                    "shard-crash window for shard {shard} is empty: \
+                     crash at {at}, restore at {restore_at}"
                 )
             }
             FaultError::OverlappingLinkWindows {
@@ -191,6 +224,11 @@ pub struct FaultPlan {
     pub impairments: Vec<PortImpairment>,
     /// Agent crashes.
     pub crashes: Vec<AgentCrash>,
+    /// Control-plane shard crashes (ignored by the packet simulator;
+    /// consumed by the orchestration layer). Defaults to empty so plans
+    /// serialized before this field existed still deserialize.
+    #[serde(default)]
+    pub shard_crashes: Vec<ShardCrash>,
 }
 
 impl FaultPlan {
@@ -201,7 +239,10 @@ impl FaultPlan {
 
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.link_windows.is_empty() && self.impairments.is_empty() && self.crashes.is_empty()
+        self.link_windows.is_empty()
+            && self.impairments.is_empty()
+            && self.crashes.is_empty()
+            && self.shard_crashes.is_empty()
     }
 
     /// Takes `port` down at `at` **for the rest of the run** — a permanent
@@ -264,6 +305,27 @@ impl FaultPlan {
     pub fn crash_agent_window(mut self, agent: AgentId, at: SimTime, restore_at: SimTime) -> Self {
         self.crashes.push(AgentCrash {
             agent,
+            at,
+            restore_at: Some(restore_at),
+        });
+        self
+    }
+
+    /// Crashes orchestrator shard `shard` at `at` for the rest of the run.
+    pub fn crash_shard(mut self, shard: u32, at: SimTime) -> Self {
+        self.shard_crashes.push(ShardCrash {
+            shard,
+            at,
+            restore_at: None,
+        });
+        self
+    }
+
+    /// Crashes orchestrator shard `shard` at `at`, restoring it at
+    /// `restore_at`.
+    pub fn crash_shard_window(mut self, shard: u32, at: SimTime, restore_at: SimTime) -> Self {
+        self.shard_crashes.push(ShardCrash {
+            shard,
             at,
             restore_at: Some(restore_at),
         });
@@ -335,6 +397,17 @@ impl FaultPlan {
                 if r <= c.at {
                     return Err(FaultError::EmptyCrashWindow {
                         agent: c.agent,
+                        at: c.at,
+                        restore_at: r,
+                    });
+                }
+            }
+        }
+        for c in &self.shard_crashes {
+            if let Some(r) = c.restore_at {
+                if r <= c.at {
+                    return Err(FaultError::EmptyShardCrashWindow {
+                        shard: c.shard,
                         at: c.at,
                         restore_at: r,
                     });

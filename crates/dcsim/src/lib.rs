@@ -59,7 +59,9 @@ pub mod prelude {
     pub use crate::audit::{AuditConfig, AuditMode, InvariantViolation, PacketLedger};
     pub use crate::det::{DetMap, DetSet, SeqMap};
     pub use crate::events::{FaultEvent, TimerKind};
-    pub use crate::faults::{AgentCrash, FaultError, FaultPlan, LinkWindow, PortImpairment};
+    pub use crate::faults::{
+        AgentCrash, FaultError, FaultPlan, LinkWindow, PortImpairment, ShardCrash,
+    };
     pub use crate::flows::{install_flow, FlowHandle, FlowSpec};
     pub use crate::metrics::SimMetrics;
     pub use crate::packet::{

@@ -19,7 +19,7 @@
 
 use crate::agent::{Agent, Counter, Ctx, Note};
 use crate::events::TimerKind;
-use crate::packet::{FlowId, HostId, Packet, PacketKind, DATA_PKT_SIZE, MSS};
+use crate::packet::{AgentId, FlowId, HostId, Packet, PacketKind, DATA_PKT_SIZE, MSS};
 use crate::protocol::rto::{RtoConfig, RttEstimator};
 use crate::protocol::seqtrack::SeqSet;
 use crate::time::{SimDuration, SimTime};
@@ -184,6 +184,10 @@ pub struct DctcpSender {
     started: bool,
     /// Proxy-health monitor; `None` on unproxied senders (zero overhead).
     failover: Option<Failover>,
+    /// The agent granting packets to this relay (the Naive ingress), if
+    /// any. Lets a restored relay pull the grant watermark back: grants
+    /// notified during a crash window died with the crash.
+    grant_src: Option<AgentId>,
 }
 
 impl DctcpSender {
@@ -242,8 +246,17 @@ impl DctcpSender {
             last_decrease: None,
             started: false,
             failover: None,
+            grant_src: None,
             config,
         }
+    }
+
+    /// Remembers the agent that grants packets to this relay (the Naive
+    /// ingress receiver), so a crash restore can re-synchronize the grant
+    /// watermark instead of wedging on grants that died with the crash.
+    pub fn with_grant_source(mut self, agent: AgentId) -> Self {
+        self.grant_src = Some(agent);
+        self
     }
 
     /// Enables proxy failover: when feedback via the proxy (`to`) goes
@@ -589,8 +602,18 @@ impl Agent for DctcpSender {
     }
 
     fn on_note(&mut self, note: Note, ctx: &mut Ctx) {
-        let Note::PacketsGranted { count } = note;
-        self.granted = (self.granted + count).min(self.total);
+        match note {
+            Note::PacketsGranted { count } => {
+                self.granted = (self.granted + count).min(self.total);
+            }
+            Note::GrantWatermark { granted } => {
+                // Absolute sync: never lowers the count (a stale watermark
+                // must not revoke grants already spent on transmissions).
+                self.granted = self.granted.max(granted).min(self.total);
+            }
+            // Senders never serve sync queries.
+            Note::GrantSync => return,
+        }
         if self.started {
             self.try_send(ctx);
             self.reset_timer(ctx);
@@ -604,22 +627,31 @@ impl Agent for DctcpSender {
         if !self.started {
             // The FlowStart event died while the host was down.
             self.on_start(ctx);
-            return;
+        } else {
+            // An RTO that fired during the outage was consumed without a
+            // handler, leaving no pending timer. Treat the outage as a
+            // timeout: reset the window, offer everything outstanding again
+            // and re-arm the RTO clock.
+            self.cwnd = self.config.min_cwnd_bytes as f64;
+            self.last_decrease = Some(ctx.now);
+            if let Some(f) = &mut self.failover {
+                f.last_feedback = ctx.now;
+            }
+            for seq in self.outstanding.drain_to_vec() {
+                self.queue_rtx(seq);
+            }
+            self.try_send(ctx);
+            self.reset_timer(ctx);
         }
-        // An RTO that fired during the outage was consumed without a
-        // handler, leaving no pending timer. Treat the outage as a
-        // timeout: reset the window, offer everything outstanding again
-        // and re-arm the RTO clock.
-        self.cwnd = self.config.min_cwnd_bytes as f64;
-        self.last_decrease = Some(ctx.now);
-        if let Some(f) = &mut self.failover {
-            f.last_feedback = ctx.now;
+        // Grants notified while we were down died with the crash and are
+        // never replayed. Pull the ingress watermark; the reply (if the
+        // ingress is up) re-grants synchronously via `GrantWatermark`, and
+        // an ingress that is itself down pushes its watermark on restore.
+        if self.granted < self.total {
+            if let Some(src) = self.grant_src {
+                ctx.notify(src, Note::GrantSync);
+            }
         }
-        for seq in self.outstanding.drain_to_vec() {
-            self.queue_rtx(seq);
-        }
-        self.try_send(ctx);
-        self.reset_timer(ctx);
     }
 }
 
@@ -885,6 +917,83 @@ mod tests {
         );
         // Grants clamp at total; window permits the rest (cwnd=4 pkts, 2 outstanding).
         assert_eq!(sent_seqs(&fx), vec![2, 3]);
+    }
+
+    #[test]
+    fn grant_watermark_is_absolute_and_never_lowers() {
+        let mut s = DctcpSender::relay(FlowId(0), HostId(0), HostId(1), 10, cfg());
+        let mut fx = Vec::new();
+        s.on_start(&mut ctx_with(SimTime(0), &mut fx));
+        fx.clear();
+        s.on_note(
+            Note::GrantWatermark { granted: 3 },
+            &mut ctx_with(SimTime(10), &mut fx),
+        );
+        assert_eq!(sent_seqs(&fx), vec![0, 1, 2]);
+        fx.clear();
+        // A stale (lower) watermark must not revoke grants...
+        s.on_note(
+            Note::GrantWatermark { granted: 1 },
+            &mut ctx_with(SimTime(20), &mut fx),
+        );
+        assert!(sent_seqs(&fx).is_empty());
+        // ...while duplicate PacketsGranted on top of a watermark still add.
+        s.on_note(
+            Note::PacketsGranted { count: 1 },
+            &mut ctx_with(SimTime(30), &mut fx),
+        );
+        assert_eq!(sent_seqs(&fx), vec![3]);
+    }
+
+    #[test]
+    fn restored_relay_pulls_the_grant_watermark() {
+        let ingress = AgentId(7);
+        let mut s = DctcpSender::relay(FlowId(0), HostId(0), HostId(1), 10, cfg())
+            .with_grant_source(ingress);
+        let mut fx = Vec::new();
+        s.on_start(&mut ctx_with(SimTime(0), &mut fx));
+        s.on_note(
+            Note::PacketsGranted { count: 2 },
+            &mut ctx_with(SimTime(10), &mut fx),
+        );
+        // Crash window: grants notified while down died with the crash.
+        fx.clear();
+        s.on_restore(&mut ctx_with(SimTime(1_000_000), &mut fx));
+        assert!(
+            fx.iter().any(|e| matches!(
+                e,
+                Effect::Notify {
+                    agent,
+                    note: Note::GrantSync
+                } if *agent == ingress
+            )),
+            "restore must query the ingress for the watermark: {fx:?}"
+        );
+    }
+
+    #[test]
+    fn fully_granted_relay_skips_the_sync_query() {
+        let ingress = AgentId(7);
+        let mut s = DctcpSender::relay(FlowId(0), HostId(0), HostId(1), 4, cfg())
+            .with_grant_source(ingress);
+        let mut fx = Vec::new();
+        s.on_start(&mut ctx_with(SimTime(0), &mut fx));
+        s.on_note(
+            Note::PacketsGranted { count: 4 },
+            &mut ctx_with(SimTime(10), &mut fx),
+        );
+        fx.clear();
+        s.on_restore(&mut ctx_with(SimTime(1_000_000), &mut fx));
+        assert!(
+            !fx.iter().any(|e| matches!(
+                e,
+                Effect::Notify {
+                    note: Note::GrantSync,
+                    ..
+                }
+            )),
+            "nothing left to re-grant, no query needed: {fx:?}"
+        );
     }
 
     #[test]

@@ -396,8 +396,16 @@ impl Agent for RateSender {
     }
 
     fn on_note(&mut self, note: Note, ctx: &mut Ctx) {
-        let Note::PacketsGranted { count } = note;
-        self.granted = (self.granted + count).min(self.total);
+        match note {
+            Note::PacketsGranted { count } => {
+                self.granted = (self.granted + count).min(self.total);
+            }
+            Note::GrantWatermark { granted } => {
+                self.granted = self.granted.max(granted).min(self.total);
+            }
+            // Rate senders are never relays today; nothing to serve.
+            Note::GrantSync => return,
+        }
         if self.started {
             self.arm_pace(ctx);
         }

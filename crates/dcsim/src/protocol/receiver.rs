@@ -97,6 +97,37 @@ impl Agent for Receiver {
             }
         }
     }
+
+    fn on_note(&mut self, note: Note, ctx: &mut Ctx) {
+        // A restored relay asking where the grant watermark stands: reply
+        // with the absolute count of distinct packets received, which is
+        // exactly the number of `PacketsGranted { count: 1 }` notes ever
+        // issued (some of which may have died against a crashed relay).
+        if note == Note::GrantSync {
+            if let Some(agent) = self.grant_to {
+                ctx.notify(
+                    agent,
+                    Note::GrantWatermark {
+                        granted: self.received.len(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_restore(&mut self, ctx: &mut Ctx) {
+        // If the relay restored first, its `GrantSync` died against this
+        // crashed ingress; push the watermark unprompted. Harmless when
+        // nothing was lost: the watermark never lowers the relay's count.
+        if let Some(agent) = self.grant_to {
+            ctx.notify(
+                agent,
+                Note::GrantWatermark {
+                    granted: self.received.len(),
+                },
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +284,56 @@ mod tests {
             })
             .count();
         assert_eq!(grants, 2, "one grant per distinct data packet");
+    }
+
+    #[test]
+    fn grant_sync_replies_with_the_absolute_watermark() {
+        let relay = AgentId(5);
+        let mut r = Receiver::new(FlowId(0), HostId(1), 4).with_grants_to(relay);
+        let mut fx = Vec::new();
+        r.on_packet(data(0), &mut ctx_with(&mut fx));
+        r.on_packet(data(0), &mut ctx_with(&mut fx)); // duplicate: not re-granted
+        r.on_packet(data(2), &mut ctx_with(&mut fx));
+        fx.clear();
+        r.on_note(Note::GrantSync, &mut ctx_with(&mut fx));
+        assert!(
+            fx.iter().any(|e| matches!(
+                e,
+                Effect::Notify {
+                    agent,
+                    note: Note::GrantWatermark { granted: 2 }
+                } if *agent == relay
+            )),
+            "watermark must equal distinct packets received: {fx:?}"
+        );
+    }
+
+    #[test]
+    fn restore_pushes_the_watermark_unprompted() {
+        let relay = AgentId(5);
+        let mut r = Receiver::new(FlowId(0), HostId(1), 4).with_grants_to(relay);
+        let mut fx = Vec::new();
+        r.on_packet(data(1), &mut ctx_with(&mut fx));
+        fx.clear();
+        // A relay that restored while this ingress was down got no reply to
+        // its sync query; the ingress re-states the watermark on restore.
+        r.on_restore(&mut ctx_with(&mut fx));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Notify {
+                agent,
+                note: Note::GrantWatermark { granted: 1 }
+            } if *agent == relay
+        )));
+    }
+
+    #[test]
+    fn grantless_receiver_ignores_sync_and_restore() {
+        let mut r = Receiver::new(FlowId(0), HostId(1), 4);
+        let mut fx = Vec::new();
+        r.on_note(Note::GrantSync, &mut ctx_with(&mut fx));
+        r.on_restore(&mut ctx_with(&mut fx));
+        assert!(fx.is_empty());
     }
 
     #[test]

@@ -956,8 +956,9 @@ mod dispatch_tests {
             }
         }
         fn on_note(&mut self, note: Note, _ctx: &mut Ctx) {
-            let Note::PacketsGranted { count } = note;
-            self.notified.fetch_add(count, Ordering::Relaxed);
+            if let Note::PacketsGranted { count } = note {
+                self.notified.fetch_add(count, Ordering::Relaxed);
+            }
         }
     }
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Control-plane performance snapshot: runs the orchestrator criterion
+# suite (select/release churn, renewal sweeps, and clock ticks against a
+# sharded plane holding 1024 concurrent leases, healthy and degraded by
+# a shard crash) and writes the results — including decisions/sec — to
+# BENCH_orchestrator.json so successive PRs can track the trajectory.
+#
+#   scripts/bench_orchestrator.sh            # full criterion run
+#   scripts/bench_orchestrator.sh --offline  # for machines without
+#                                            # registry access (offline
+#                                            # criterion stub writes
+#                                            # estimates.json like the
+#                                            # real one)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+for arg in "$@"; do
+  case "$arg" in
+    --offline) OFFLINE=(--offline) ;;
+    *) echo "unknown argument: $arg (only --offline is supported)" >&2; exit 2 ;;
+  esac
+done
+
+OUT=BENCH_orchestrator.json
+
+echo "== cargo bench (orchestrator suite)"
+cargo bench "${OFFLINE[@]}" -p bench --bench orchestrator
+
+echo "== writing $OUT"
+GIT_REV=$(git describe --always --dirty 2>/dev/null || echo unknown)
+python3 - "$OUT" "$GIT_REV" <<'PY'
+import json, os, sys
+
+out, rev = sys.argv[1], sys.argv[2]
+summary = {
+    "suite": "orchestrator",
+    "git_rev": rev,
+    "concurrent_incasts": 1024,
+    "criterion": {},
+    "decisions_per_sec": {},
+}
+# Elements measured per iteration, matching the Throughput declarations
+# in crates/bench/benches/orchestrator.rs.
+ELEMENTS = {
+    "orchestrator_decisions": 2,     # release + replacement select
+    "orchestrator_renew": 1024,      # one full renewal sweep
+    "orchestrator_advance": 1,       # one clock tick
+}
+# Real criterion resolves the workspace target dir; the offline stub
+# writes relative to the bench binary's CWD (the package dir) — scan both.
+roots = [r for r in ("target/criterion", "crates/bench/target/criterion")
+         if os.path.isdir(r)]
+walk = [(root, entry) for root in roots for entry in os.walk(root)]
+for root, (dirpath, _dirs, files) in walk:
+    if "estimates.json" not in files or not dirpath.endswith(os.sep + "new"):
+        continue
+    bench = os.path.relpath(os.path.dirname(dirpath), root).replace(os.sep, "/")
+    group = bench.split("/")[0]
+    if group not in ELEMENTS:
+        continue  # another suite's results sharing target/criterion
+    with open(os.path.join(dirpath, "estimates.json")) as f:
+        est = json.load(f)
+    mean_ns = est["mean"]["point_estimate"]
+    summary["criterion"][bench] = {
+        "mean_ns": mean_ns,
+        "std_dev_ns": est["std_dev"]["point_estimate"],
+    }
+    if mean_ns > 0:
+        summary["decisions_per_sec"][bench] = round(
+            ELEMENTS[group] * 1e9 / mean_ns
+        )
+with open(out, "w") as f:
+    json.dump(summary, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}")
+for bench, rate in sorted(summary["decisions_per_sec"].items()):
+    print(f"  {bench}: {rate:,} decisions/sec")
+PY

@@ -38,7 +38,10 @@ cargo test --workspace "${OFFLINE[@]}" -q
 echo "== chaos fuzz (bounded campaign, fixed seed range; repros land in target/fuzz-repros)"
 cargo run --release "${OFFLINE[@]}" -q -p bench --bin fuzz -- --count 500 --start-seed 1
 
-echo "== chaos repro replay (committed shrunk repros, determinism + expectation)"
+echo "== control-plane fuzz (shard crashes, stale placements, gossip slower than lease expiry)"
+cargo run --release "${OFFLINE[@]}" -q -p bench --bin fuzz -- --control-plane --count 500 --start-seed 0
+
+echo "== chaos repro replay (committed shrunk repros, both families, determinism + expectation)"
 for repro in crates/bench/tests/repros/*.json; do
   cargo run --release "${OFFLINE[@]}" -q -p bench --bin fuzz -- --replay "$repro"
 done
