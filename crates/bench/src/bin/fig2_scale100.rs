@@ -1,0 +1,123 @@
+//! Figure 2 (Left) rerun at 100× incast scale, enabled by the
+//! hybrid-fidelity engine (ISSUE 7).
+//!
+//! The paper's figure stops at 63 senders on a 512-host-per-DC fabric.
+//! This sweep pushes the same protocol — 100 MB total, split equally,
+//! 1 ms long-haul — to 800 senders (100× the paper's modal degree-8
+//! point) on a 1024-host-per-DC fabric (8 spines × 16 leaves × 64
+//! hosts/leaf), with hybrid fidelity advancing the uncontended fabric
+//! analytically. The question it answers: where does the proxy's ICT
+//! benefit saturate as the incast degree keeps growing?
+//!
+//! Run with: `cargo run --release -p bench --bin fig2_scale100 [--quick]`
+
+use bench::{banner, emit_json, sweep_experiments, RunOptions};
+use incast_core::{ExperimentConfig, Scheme};
+use serde::Serialize;
+use trace::table::fmt_secs;
+use trace::Table;
+
+#[derive(Serialize)]
+struct Point {
+    degree: usize,
+    scheme: String,
+    mean_secs: f64,
+    min_secs: f64,
+    max_secs: f64,
+    reduction_vs_baseline: f64,
+    express_saved_frac: f64,
+}
+
+fn main() {
+    let opts = RunOptions::from_args();
+    banner(
+        "Figure 2 (Left) at 100x scale",
+        "ICT vs degree to 800 senders (100 MB total, 1024-host DCs, hybrid fidelity)",
+    );
+    let degrees: &[usize] = if opts.quick {
+        &[50, 200]
+    } else {
+        &[50, 100, 200, 400, 600, 800]
+    };
+    // Baseline vs Streamlined only: the Naive relay's per-connection
+    // state scales poorly past a few hundred senders and the paper's
+    // verdict on it is already in at degree 63.
+    let schemes = [Scheme::Baseline, Scheme::ProxyStreamlined];
+
+    let cells: Vec<(usize, Scheme)> = degrees
+        .iter()
+        .flat_map(|&degree| schemes.into_iter().map(move |scheme| (degree, scheme)))
+        .collect();
+    let configs: Vec<ExperimentConfig> = cells
+        .iter()
+        .map(|&(degree, scheme)| ExperimentConfig {
+            topo: dcsim::topology::TwoDcParams {
+                spines_per_dc: 8,
+                leaves_per_dc: 16,
+                hosts_per_leaf: 64,
+                ..Default::default()
+            },
+            scheme,
+            degree,
+            total_bytes: 100_000_000,
+            seed: opts.seed,
+            fidelity: true,
+            ..Default::default()
+        })
+        .collect();
+    let results = sweep_experiments(&opts.sweep_runner(), &configs, opts.runs);
+
+    let mut table = Table::new(vec![
+        "degree",
+        "scheme",
+        "ICT mean",
+        "min",
+        "max",
+        "vs baseline",
+        "express saved",
+    ]);
+    let mut results = results.iter();
+    for &degree in degrees {
+        let mut baseline_mean = None;
+        for scheme in schemes {
+            let (summary, outcomes) = results.next().expect("one result per cell");
+            let reduction = match baseline_mean {
+                None => {
+                    baseline_mean = Some(summary.mean);
+                    0.0
+                }
+                Some(base) => (base - summary.mean) / base,
+            };
+            let (events, saved) = outcomes.iter().fold((0u64, 0u64), |(e, s), o| {
+                (e + o.events, s + o.express_saved_events)
+            });
+            let saved_frac = saved as f64 / (events + saved) as f64;
+            table.row(vec![
+                degree.to_string(),
+                scheme.label().to_string(),
+                fmt_secs(summary.mean),
+                fmt_secs(summary.min),
+                fmt_secs(summary.max),
+                if scheme == Scheme::Baseline {
+                    "—".to_string()
+                } else {
+                    format!("{:+.1}%", -reduction * 100.0)
+                },
+                format!("{:.1}%", saved_frac * 100.0),
+            ]);
+            emit_json(
+                "fig2_scale100",
+                &Point {
+                    degree,
+                    scheme: scheme.label().to_string(),
+                    mean_secs: summary.mean,
+                    min_secs: summary.min,
+                    max_secs: summary.max,
+                    reduction_vs_baseline: reduction,
+                    express_saved_frac: saved_frac,
+                },
+            );
+        }
+    }
+    print!("{}", table.render());
+}

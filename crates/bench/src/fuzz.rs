@@ -69,6 +69,10 @@ pub struct Scenario {
     /// Arm the stuck-flow watchdog. Only sound when every fault heals
     /// (permanent outages legitimately strand flows).
     pub liveness: bool,
+    /// Run under the hybrid-fidelity engine (uncontended hops advanced
+    /// analytically). Absent from older repro files, defaulting to false,
+    /// so committed repros keep replaying bit-identically.
+    pub fidelity: bool,
     /// Simulated-time budget counted from the incast start.
     pub time_limit_ms: u64,
     pub faults: FaultPlan,
@@ -150,6 +154,16 @@ pub fn build(sc: &Scenario) -> Result<(Simulator, IncastHandle), String> {
         }
     }
     let handle = install_incast(&mut sim, &spec, sc.scheme);
+    if sc.fidelity {
+        // Before `install_faults`, so the plan's ports get pinned hot.
+        sim.set_fidelity(FidelityConfig::default());
+        let receiver_tor = sim.topology().down_tor_port(spec.receiver);
+        sim.pin_hot_port(receiver_tor);
+        if let Some(proxy) = spec.proxy {
+            let proxy_tor = sim.topology().down_tor_port(proxy);
+            sim.pin_hot_port(proxy_tor);
+        }
+    }
     sim.install_faults(&sc.faults)
         .map_err(|e| format!("fault plan rejected: {e}"))?;
     Ok((sim, handle))
@@ -304,9 +318,13 @@ pub fn generate(fuzz_seed: u64) -> Scenario {
         early_nack: rng.next_bounded(8) != 0,
         failover: rng.next_bounded(2) == 0,
         liveness: false,
+        fidelity: false,
         time_limit_ms: DEFAULT_TIME_LIMIT_MS,
         faults: FaultPlan::new(),
     };
+    // Half the campaign exercises the hybrid-fidelity engine, so the
+    // auditor's ledger checks cover express-advanced packets too.
+    sc.fidelity = rng.next_bounded(2) == 1;
     // Build once (faultless) to learn how many ports and agents exist,
     // then roll a validate()-clean fault plan against those bounds.
     let (sim, _) = build(&sc).expect("faultless generated scenario must build");
@@ -392,6 +410,11 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
         push(&|c: &mut Scenario| {
             c.faults.impairments.remove(i);
         });
+    }
+    if sc.fidelity {
+        // Dropping fidelity first tells us whether the hybrid engine
+        // itself (vs. the underlying scenario) caused the failure.
+        push(&|c: &mut Scenario| c.fidelity = false);
     }
     if sc.background_flows > 0 {
         push(&|c: &mut Scenario| c.background_flows = 0);
@@ -632,6 +655,7 @@ impl Scenario {
             ("early_nack", Json::Bool(self.early_nack)),
             ("failover", Json::Bool(self.failover)),
             ("liveness", Json::Bool(self.liveness)),
+            ("fidelity", Json::Bool(self.fidelity)),
             ("time_limit_ms", Json::u64(self.time_limit_ms)),
             (
                 "faults",
@@ -695,6 +719,12 @@ impl Scenario {
             early_nack: v.get_bool("early_nack")?,
             failover: v.get_bool("failover")?,
             liveness: v.get_bool("liveness")?,
+            // Older repro files predate the hybrid-fidelity engine.
+            fidelity: match v.get("fidelity") {
+                Some(Json::Bool(b)) => *b,
+                Some(other) => return Err(format!("fidelity: expected bool, got {other:?}")),
+                None => false,
+            },
             time_limit_ms: v.get_u64("time_limit_ms")?,
             faults,
         })

@@ -95,6 +95,13 @@ pub struct ExperimentConfig {
     /// Sender-side proxy failover (default: off). Required for proxied
     /// incasts to survive [`FaultScenario::ProxyCrash`] without a restore.
     pub failover: Option<FailoverConfig>,
+    /// Hybrid-fidelity engine (default: off — off keeps every run
+    /// bit-identical to historical builds). When on, uncontended hops are
+    /// advanced analytically and only the contended queues — receiver and
+    /// proxy down-ToRs, plus any port that ever congests — run at packet
+    /// fidelity. FCTs then agree with full fidelity statistically, not
+    /// bit-exactly; see `fidelity_equivalence` for the enforced tolerance.
+    pub fidelity: bool,
     /// Safety limit on simulated time (a run exceeding it is a bug or a
     /// pathological configuration — the harness panics loudly).
     pub time_limit: SimDuration,
@@ -122,6 +129,7 @@ impl Default for ExperimentConfig {
             transport: crate::scheme::Transport::WindowedDctcp,
             faults: FaultScenario::None,
             failover: None,
+            fidelity: false,
             time_limit: SimDuration::from_secs(600),
             audit: None,
         }
@@ -201,6 +209,10 @@ pub struct IncastOutcome {
     pub failover_latency_max_secs: f64,
     /// Events processed (simulator work, useful for perf tracking).
     pub events: u64,
+    /// Events elided by the hybrid-fidelity express path (0 when the
+    /// engine is off). `events + express_saved_events` is the effective
+    /// packet-event count the run covered.
+    pub express_saved_events: u64,
     /// How the run terminated (completion is separately guaranteed by the
     /// harness, so this distinguishes a clean `Completed` from a completed
     /// run that the collect-mode auditor flagged).
@@ -224,6 +236,17 @@ pub fn run_incast(config: &ExperimentConfig, seed: u64) -> IncastOutcome {
     }
     let spec = config.placement(sim.topology());
     let handle = install_incast(&mut sim, &spec, config.scheme);
+    if config.fidelity {
+        // Enable before `install_faults` so the plan's ports get pinned
+        // hot; the incast's known congestion points are pinned explicitly.
+        sim.set_fidelity(FidelityConfig::default());
+        let receiver_tor = sim.topology().down_tor_port(spec.receiver);
+        sim.pin_hot_port(receiver_tor);
+        if let Some(proxy) = spec.proxy {
+            let proxy_tor = sim.topology().down_tor_port(proxy);
+            sim.pin_hot_port(proxy_tor);
+        }
+    }
     if let Some(plan) = fault_plan_for(config, &spec, &handle, &sim) {
         sim.install_faults(&plan)
             .unwrap_or_else(|e| panic!("invalid fault scenario {:?}: {e}", config.faults));
@@ -264,6 +287,7 @@ pub fn run_incast(config: &ExperimentConfig, seed: u64) -> IncastOutcome {
             .map(|d| d.as_secs_f64())
             .fold(0.0, f64::max),
         events: m.events_processed,
+        express_saved_events: sim.fidelity_stats().map_or(0, |e| e.saved_events),
         terminated_reason: report.terminated_reason(),
     }
 }
@@ -356,6 +380,30 @@ mod tests {
         assert_eq!(summary.count, 3);
         assert_eq!(outcomes.len(), 3);
         assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+    }
+
+    #[test]
+    fn hybrid_fidelity_completes_deterministically_for_all_schemes() {
+        for scheme in Scheme::ALL {
+            let mut cfg = fast_config(scheme);
+            cfg.fidelity = true;
+            let a = run_incast(&cfg, 13);
+            let b = run_incast(&cfg, 13);
+            assert!(a.completion_secs > 0.0, "{scheme}: {a:?}");
+            assert!(
+                a.express_saved_events > 0,
+                "{scheme}: express path never engaged"
+            );
+            assert_eq!(a.completion_secs, b.completion_secs, "{scheme}");
+            assert_eq!(a.events, b.events, "{scheme}");
+            assert_eq!(a.express_saved_events, b.express_saved_events, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn fidelity_off_reports_zero_saved_events() {
+        let out = run_incast(&fast_config(Scheme::Baseline), 1);
+        assert_eq!(out.express_saved_events, 0);
     }
 
     #[test]

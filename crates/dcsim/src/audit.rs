@@ -13,10 +13,13 @@
 //! at the end of every `run()` call (and optionally every N processed
 //! events):
 //!
-//! * **Conservation** — `created == delivered + lost_to_crash +
-//!   lost_to_fault + dropped_queue + in_flight`, where in-flight packets are
-//!   counted by summing port-queue occupancy and walking the event slab for
-//!   pending `Arrival`/`Inject` events.
+//! * **Conservation** — `created + imported == delivered + lost_to_crash +
+//!   lost_to_fault + dropped_queue + exported + in_flight`, where in-flight
+//!   packets are counted by summing port-queue occupancy and walking the
+//!   event slab for pending `Arrival`/`Inject` events. The
+//!   `exported`/`imported` terms account for packets crossing shard
+//!   boundaries in fleet runs (zero otherwise), so the balance holds on
+//!   both sides of a fidelity or shard boundary mid-flight.
 //! * **Queue sanity** — per-port byte counters match the queued packets,
 //!   occupancy never exceeds the configured capacities, and
 //!   `enqueued - dequeued == len`.
@@ -126,6 +129,19 @@ pub struct PacketLedger {
     /// Payloads cut to headers (queue trim or data corruption); the header
     /// keeps traveling, so this is not a terminal disposition.
     pub trimmed: u64,
+    /// Packets handed to another shard of a fleet run. Terminal for *this*
+    /// shard's ledger: conservation becomes `created + imported == terminal
+    /// + exported + in_flight`. Zero outside fleet runs.
+    pub exported: u64,
+    /// Packets accepted from another shard of a fleet run; they enter this
+    /// shard's conservation sum alongside `created`. Zero outside fleet
+    /// runs.
+    pub imported: u64,
+    /// Packets advanced analytically by the hybrid-fidelity express path
+    /// for at least one hop. Informational (such packets still appear in
+    /// `delivered`/`in_flight` like any other); not part of the
+    /// conservation sum.
+    pub express: u64,
 }
 
 impl PacketLedger {
@@ -250,15 +266,18 @@ impl fmt::Display for InvariantViolation {
                 in_events,
             } => write!(
                 f,
-                "packet conservation broken at {at}: created={} != terminal={} \
-                 (delivered={} lost_to_crash={} lost_to_fault={} dropped_queue={}) \
-                 + in_flight={} (queues={in_queues} events={in_events})",
+                "packet conservation broken at {at}: created={} + imported={} != \
+                 terminal={} (delivered={} lost_to_crash={} lost_to_fault={} \
+                 dropped_queue={}) + exported={} + in_flight={} \
+                 (queues={in_queues} events={in_events})",
                 ledger.created,
+                ledger.imported,
                 ledger.terminal(),
                 ledger.delivered,
                 ledger.lost_to_crash,
                 ledger.lost_to_fault,
                 ledger.dropped_queue,
+                ledger.exported,
                 in_queues + in_events,
             ),
             InvariantViolation::QueueOverCapacity {

@@ -42,6 +42,8 @@ pub mod audit;
 pub mod det;
 pub mod events;
 pub mod faults;
+pub mod fidelity;
+pub mod fleet;
 pub mod flows;
 pub mod metrics;
 pub mod packet;
@@ -62,6 +64,8 @@ pub mod prelude {
     pub use crate::faults::{
         AgentCrash, FaultError, FaultPlan, LinkWindow, PortImpairment, ShardCrash,
     };
+    pub use crate::fidelity::{ExpressStats, FidelityConfig};
+    pub use crate::fleet::{FleetReport, FleetSim};
     pub use crate::flows::{install_flow, FlowHandle, FlowSpec};
     pub use crate::metrics::SimMetrics;
     pub use crate::packet::{

@@ -613,6 +613,13 @@ impl Agent for DctcpSender {
             }
             // Senders never serve sync queries.
             Note::GrantSync => return,
+            // A port on this flow's path fell back from analytic to
+            // packet-level modeling. Counted for observability; the
+            // congestion response rides the usual ECN/trim signals.
+            Note::FidelityShift => {
+                ctx.count(Counter::FidelityHotSignals, 1);
+                return;
+            }
         }
         if self.started {
             self.try_send(ctx);

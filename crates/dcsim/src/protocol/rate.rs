@@ -405,6 +405,11 @@ impl Agent for RateSender {
             }
             // Rate senders are never relays today; nothing to serve.
             Note::GrantSync => return,
+            // Fidelity regime change on the path: counted, not acted on.
+            Note::FidelityShift => {
+                ctx.count(Counter::FidelityHotSignals, 1);
+                return;
+            }
         }
         if self.started {
             self.arm_pace(ctx);

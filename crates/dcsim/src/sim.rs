@@ -1,17 +1,20 @@
 //! The simulator: event loop, port transmit state machines, switch
 //! forwarding with packet spraying, and agent dispatch.
 
-use crate::agent::{Agent, Counter, Ctx, Effect};
+use crate::agent::{Agent, Counter, Ctx, Effect, Note};
 use crate::audit::{AuditConfig, AuditMode, InvariantViolation, PacketLedger};
 use crate::events::{Event, EventQueue, FaultEvent, TimerHandle};
 use crate::faults::{FaultError, FaultPlan};
+use crate::fidelity::{ExpressStats, FidelityConfig, FidelityState};
 use crate::metrics::SimMetrics;
 use crate::packet::{AgentId, FlowId, HostId, NodeId, Packet, PacketKind, PortId};
+use crate::protocol::{DctcpSender, Receiver};
 use crate::queues::{EnqueueOutcome, PortQueue, QueueStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeRole, Topology};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 use trace::{derive_seed, SplitMix64};
 
 /// Why [`Simulator::run`] returned.
@@ -88,10 +91,82 @@ struct PortRuntime {
     busy: bool,
 }
 
+/// Arena slot for an agent. The two agent types instantiated per flow by
+/// the workload installers live inline (no per-agent heap allocation, no
+/// vtable indirection on the size/layout), so a million-flow fleet run
+/// keeps its two million protocol agents in one dense `Vec`. Everything
+/// else (proxies, orchestrators, test probes) stays boxed behind the same
+/// `AgentId` index space.
+///
+/// The size skew is the point: boxing `DctcpSender` (the hot, common
+/// variant) would reintroduce the pointer chase the arena exists to
+/// remove, at the cost of a few hundred padding bytes on the rare
+/// `Receiver`/`Boxed` slots.
+#[allow(clippy::large_enum_variant)]
+pub enum AgentSlot {
+    Dctcp(DctcpSender),
+    Receiver(Receiver),
+    Boxed(Box<dyn Agent>),
+}
+
+impl AgentSlot {
+    #[inline]
+    fn as_mut(&mut self) -> &mut dyn Agent {
+        match self {
+            AgentSlot::Dctcp(a) => a,
+            AgentSlot::Receiver(a) => a,
+            AgentSlot::Boxed(b) => b.as_mut(),
+        }
+    }
+}
+
 /// Binding of a flow to the agent handling it at each host it touches.
-#[derive(Debug, Default, Clone)]
+/// Flows have two endpoints (three via a proxy), so the common cases live
+/// inline; `spill` only allocates for exotic multi-endpoint bindings.
+#[derive(Debug, Clone)]
 struct FlowBinding {
-    endpoints: Vec<(HostId, AgentId)>,
+    len: u8,
+    slots: [(HostId, AgentId); 3],
+    spill: Vec<(HostId, AgentId)>,
+}
+
+impl Default for FlowBinding {
+    fn default() -> Self {
+        FlowBinding {
+            len: 0,
+            slots: [(HostId(u32::MAX), AgentId(u32::MAX)); 3],
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl FlowBinding {
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push(&mut self, host: HostId, agent: AgentId) {
+        if (self.len as usize) < self.slots.len() {
+            self.slots[self.len as usize] = (host, agent);
+            self.len += 1;
+        } else {
+            self.spill.push((host, agent));
+        }
+    }
+
+    #[inline]
+    fn iter(&self) -> impl Iterator<Item = (HostId, AgentId)> + '_ {
+        self.slots[..self.len as usize]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+
+    #[inline]
+    fn agent_at(&self, host: HostId) -> Option<AgentId> {
+        self.iter().find(|&(h, _)| h == host).map(|(_, a)| a)
+    }
 }
 
 /// A packet-level discrete-event network simulator.
@@ -99,7 +174,7 @@ pub struct Simulator {
     topo: Topology,
     events: EventQueue,
     ports: Vec<PortRuntime>,
-    agents: Vec<Box<dyn Agent>>,
+    agents: Vec<AgentSlot>,
     flows: Vec<FlowBinding>,
     rng: SplitMix64,
     metrics: SimMetrics,
@@ -145,6 +220,18 @@ pub struct Simulator {
     /// Violations collected since the last `run` call returned
     /// ([`AuditMode::Collect`] only).
     violations: Vec<InvariantViolation>,
+    /// Hybrid-fidelity engine state (`None` = full packet fidelity, the
+    /// default; runs are bit-identical to a pre-fidelity simulator).
+    /// Boxed so the disabled case costs one pointer-null check.
+    fidelity: Option<Box<FidelityState>>,
+    /// Fleet sharding: the owning shard of every node, shared across the
+    /// shard simulators of one fleet run. `None` outside fleet runs.
+    shard_of: Option<Arc<Vec<u32>>>,
+    /// This simulator's shard id within a fleet run.
+    my_shard: u32,
+    /// Packets bound for nodes owned by other shards, accumulated during a
+    /// window and drained by the fleet driver's deterministic exchange.
+    outbox: Vec<(SimTime, NodeId, Packet)>,
 }
 
 impl Simulator {
@@ -180,7 +267,84 @@ impl Simulator {
             flow_activity: Vec::new(),
             stuck_flagged: Vec::new(),
             violations: Vec::new(),
+            fidelity: None,
+            shard_of: None,
+            my_shard: 0,
+            outbox: Vec::new(),
         }
+    }
+
+    /// Enables the hybrid-fidelity engine: uncontended hops are advanced
+    /// analytically (see [`crate::fidelity`]); contended and pinned ports
+    /// keep full packet fidelity. Call before installing fault plans so
+    /// fault-prone ports are pinned hot in both orders of operations.
+    pub fn set_fidelity(&mut self, cfg: FidelityConfig) {
+        let mut state = FidelityState::new(cfg, self.ports.len());
+        // Ports already carrying impairments can never be modeled as
+        // delay lines; pin them hot. (Plans installed later pin theirs in
+        // `install_faults`.)
+        for (i, &(loss, corrupt)) in self.impairments.iter().enumerate() {
+            if loss > 0.0 || corrupt > 0.0 {
+                state.always_hot[i] = true;
+            }
+        }
+        self.fidelity = Some(Box::new(state));
+    }
+
+    /// True when the hybrid-fidelity engine is enabled.
+    pub fn fidelity_enabled(&self) -> bool {
+        self.fidelity.is_some()
+    }
+
+    /// Express-path counters, if the hybrid-fidelity engine is enabled.
+    pub fn fidelity_stats(&self) -> Option<ExpressStats> {
+        self.fidelity.as_ref().map(|f| f.stats)
+    }
+
+    /// Pins a port permanently hot: it keeps full packet fidelity for the
+    /// whole run (receiver/proxy down-ToRs, backbone links under study).
+    /// No-op when the hybrid-fidelity engine is disabled.
+    pub fn pin_hot_port(&mut self, port: PortId) {
+        if let Some(f) = &mut self.fidelity {
+            f.always_hot[port.index()] = true;
+        }
+    }
+
+    /// Joins this simulator to a fleet run: `shard_of` maps every `NodeId`
+    /// to its owning shard, `my_shard` is this simulator's shard. Packets
+    /// crossing into foreign nodes are diverted to the outbox instead of
+    /// being scheduled locally.
+    pub fn set_shard(&mut self, shard_of: Arc<Vec<u32>>, my_shard: u32) {
+        assert_eq!(
+            shard_of.len(),
+            self.topo.node_count(),
+            "shard map must cover every node"
+        );
+        self.shard_of = Some(shard_of);
+        self.my_shard = my_shard;
+    }
+
+    /// Drains packets destined for other shards (fleet exchange).
+    pub fn take_outbox(&mut self) -> Vec<(SimTime, NodeId, Packet)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Accepts a packet exported by another shard: schedules its arrival
+    /// at the owning node and accounts it in the ledger.
+    pub fn import_packet(&mut self, at: SimTime, node: NodeId, packet: Packet) {
+        debug_assert!(
+            self.shard_of
+                .as_ref()
+                .is_some_and(|s| s[node.index()] == self.my_shard),
+            "imported packet for a node this shard does not own"
+        );
+        self.ledger.imported += 1;
+        self.events.schedule(at, Event::Arrival { node, packet });
+    }
+
+    /// Earliest pending event time (fleet window skip-ahead).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
     }
 
     /// Enables invariant auditing for subsequent `run` calls. Checks run at
@@ -276,6 +440,17 @@ impl Simulator {
                     .schedule(r, Event::Fault(FaultEvent::AgentRestore { agent: c.agent }));
             }
         }
+        if let Some(f) = &mut self.fidelity {
+            // Fault-prone ports can go down or impair mid-flight; the
+            // express path must never claim to have traversed them, so pin
+            // them at full packet fidelity for the whole run.
+            for w in &plan.link_windows {
+                f.always_hot[w.port.index()] = true;
+            }
+            for imp in &plan.impairments {
+                f.always_hot[imp.port.index()] = true;
+            }
+        }
         Ok(())
     }
 
@@ -332,10 +507,25 @@ impl Simulator {
         self.agents.len()
     }
 
-    /// Registers an agent, returning its id.
+    /// Registers a boxed agent, returning its id.
     pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
         let id = AgentId(self.agents.len() as u32);
-        self.agents.push(agent);
+        self.agents.push(AgentSlot::Boxed(agent));
+        id
+    }
+
+    /// Registers a DCTCP sender inline in the agent arena (no per-agent
+    /// box), returning its id. Ids share one space with boxed agents.
+    pub fn add_dctcp_sender(&mut self, agent: DctcpSender) -> AgentId {
+        let id = AgentId(self.agents.len() as u32);
+        self.agents.push(AgentSlot::Dctcp(agent));
+        id
+    }
+
+    /// Registers a receiver inline in the agent arena, returning its id.
+    pub fn add_receiver(&mut self, agent: Receiver) -> AgentId {
+        let id = AgentId(self.agents.len() as u32);
+        self.agents.push(AgentSlot::Receiver(agent));
         id
     }
 
@@ -353,10 +543,10 @@ impl Simulator {
     pub fn bind(&mut self, flow: FlowId, host: HostId, agent: AgentId) {
         let binding = &mut self.flows[flow.index()];
         assert!(
-            binding.endpoints.iter().all(|&(h, _)| h != host),
+            binding.iter().all(|(h, _)| h != host),
             "{flow} already bound at {host}"
         );
-        binding.endpoints.push((host, agent));
+        binding.push(host, agent);
     }
 
     /// Schedules an agent's `on_start` at `at`.
@@ -433,7 +623,7 @@ impl Simulator {
                         self_id: agent,
                         effects: &mut effects,
                     };
-                    self.agents[agent.index()].on_crash(&mut ctx);
+                    self.agents[agent.index()].as_mut().on_crash(&mut ctx);
                 }
                 self.apply_effects(now, &mut effects);
                 effects.clear();
@@ -485,11 +675,15 @@ impl Simulator {
         let census = self.events.census();
         let mut found: Vec<InvariantViolation> = Vec::new();
 
-        // Packet conservation: every created packet is either terminally
-        // disposed of or demonstrably in flight (queued on a port, or
-        // riding a pending Arrival/Inject event).
+        // Packet conservation: every packet created here or imported from
+        // another shard is either terminally disposed of, demonstrably in
+        // flight (queued on a port, or riding a pending Arrival/Inject
+        // event), or exported to another shard. Outside fleet runs the
+        // exported/imported terms are zero.
         let in_queues: u64 = self.ports.iter().map(|p| p.queue.len() as u64).sum();
-        if self.ledger.created != self.ledger.terminal() + in_queues + census.packets {
+        if self.ledger.created + self.ledger.imported
+            != self.ledger.terminal() + in_queues + census.packets + self.ledger.exported
+        {
             found.push(InvariantViolation::PacketConservation {
                 at: now,
                 ledger: self.ledger,
@@ -549,16 +743,12 @@ impl Simulator {
             for i in 0..self.flows.len() {
                 let flow = FlowId(i as u32);
                 if self.stuck_flagged[i]
-                    || self.flows[i].endpoints.is_empty()
+                    || self.flows[i].is_empty()
                     || self.metrics.completion(flow).is_some()
                 {
                     continue;
                 }
-                if self.flows[i]
-                    .endpoints
-                    .iter()
-                    .any(|&(_, a)| self.is_agent_crashed(a))
-                {
+                if self.flows[i].iter().any(|(_, a)| self.is_agent_crashed(a)) {
                     continue;
                 }
                 let Some(last) = self.flow_activity.get(i).copied().flatten() else {
@@ -648,12 +838,8 @@ impl Simulator {
     }
 
     fn agent_for(&self, flow: FlowId, host: HostId) -> AgentId {
-        let binding = &self.flows[flow.index()];
-        binding
-            .endpoints
-            .iter()
-            .find(|&&(h, _)| h == host)
-            .map(|&(_, a)| a)
+        self.flows[flow.index()]
+            .agent_at(host)
             .unwrap_or_else(|| panic!("{flow} has no agent bound at {host}"))
     }
 
@@ -662,6 +848,9 @@ impl Simulator {
         // flow — an RTO retransmission into a dead link is activity, so the
         // liveness watchdog only flags flows that stopped *trying*.
         self.note_flow_activity(now, packet.flow);
+        if self.fidelity.is_some() && self.try_express(now, port, packet) {
+            return;
+        }
         if self.link_down[port.index()] {
             // A down link blackholes everything offered to it; packets
             // already queued stay put and drain after link-up.
@@ -703,6 +892,167 @@ impl Simulator {
         if outcome != EnqueueOutcome::Dropped {
             self.try_start_tx(now, port);
         }
+        if self.fidelity.is_some() {
+            self.note_congestion(now, port, outcome, packet);
+        }
+    }
+
+    /// Hybrid-fidelity hysteresis: a trim, a drop, or queue occupancy past
+    /// the ECN low watermark marks the port hot for the dwell window. On a
+    /// cold→hot transition the flow's sender (if bound locally) is told via
+    /// [`Note::FidelityShift`] so protocols can react to the regime change.
+    fn note_congestion(
+        &mut self,
+        now: SimTime,
+        port: PortId,
+        outcome: EnqueueOutcome,
+        packet: Packet,
+    ) {
+        let congested = outcome != EnqueueOutcome::Queued || {
+            let q = &self.ports[port.index()].queue;
+            q.data_bytes() >= q.config().mark_low_bytes
+        };
+        if !congested {
+            return;
+        }
+        let Some(fid) = &mut self.fidelity else {
+            return;
+        };
+        if fid.mark_hot(port.index(), now) {
+            if let Some(agent) = self
+                .flows
+                .get(packet.flow.index())
+                .and_then(|b| b.agent_at(packet.src))
+            {
+                self.dispatch(now, agent, |a, ctx| a.on_note(Note::FidelityShift, ctx));
+            }
+        }
+    }
+
+    /// True when the port can be modeled as a pure delay line: empty,
+    /// healthy, not pinned, outside the congestion dwell window, and with a
+    /// virtual backlog below the configured ceiling.
+    ///
+    /// A transmitting port with an empty queue is still cold: `free_at`
+    /// tracks the in-flight packet's TxDone (`try_start_tx` keeps it
+    /// current), so an express departure `max(t, free_at) + ser` lands
+    /// exactly where FIFO store-and-forward would put it. This keeps
+    /// steady full-rate streams on uncontended paths — back-to-back
+    /// packets with no standing queue — on the express path.
+    #[inline]
+    fn port_is_cold(&self, fid: &FidelityState, port: PortId, t: SimTime) -> bool {
+        let i = port.index();
+        if fid.always_hot[i] || fid.hot_until[i] > t.0 || self.link_down[i] {
+            return false;
+        }
+        self.ports[i].queue.is_empty()
+            && fid.free_at[i].saturating_sub(t.0) <= fid.cfg.hot_backlog.0
+    }
+
+    /// Express cut-through: if `first` is cold, advance the packet across
+    /// consecutive cold hops analytically and schedule exactly one event —
+    /// the arrival at its destination host, an `Inject` on the first hot
+    /// port, or an export to the owning shard. Returns false (taking no
+    /// action) when the first port is hot.
+    fn try_express(&mut self, now: SimTime, first: PortId, packet: Packet) -> bool {
+        let mut fid = self.fidelity.take().expect("caller checked fidelity");
+        let took = self.express_walk(&mut fid, now, first, packet);
+        self.fidelity = Some(fid);
+        took
+    }
+
+    fn express_walk(
+        &mut self,
+        fid: &mut FidelityState,
+        now: SimTime,
+        first: PortId,
+        packet: Packet,
+    ) -> bool {
+        if !self.port_is_cold(fid, first, now) {
+            return false;
+        }
+        let mut t = now;
+        let mut port = first;
+        let mut hops = 0u64;
+        loop {
+            // One cold hop in closed form: FIFO store-and-forward timing
+            // against the port's virtual serialization horizon.
+            let i = port.index();
+            let spec = self.topo.port(port);
+            let ser = spec.link.bandwidth.serialize_time(packet.size);
+            let latency = spec.link.latency;
+            let node = spec.to;
+            let depart = SimTime(t.0.max(fid.free_at[i])) + ser;
+            fid.free_at[i] = depart.0;
+            t = depart + latency;
+            hops += 1;
+            if let Some(of) = &self.shard_of {
+                if of[node.index()] != self.my_shard {
+                    // Crossing the shard boundary: hand the packet to the
+                    // owning shard at its arrival time.
+                    self.outbox.push((t, node, packet));
+                    self.ledger.exported += 1;
+                    break;
+                }
+            }
+            match self.topo.role(node) {
+                NodeRole::Host(host) => {
+                    debug_assert_eq!(
+                        host, packet.dst,
+                        "express walk for {} reached {host}",
+                        packet.dst
+                    );
+                    self.events.schedule(t, Event::Arrival { node, packet });
+                    break;
+                }
+                _ => {
+                    // The spray draw happens here, exactly as the packet-
+                    // level path would draw it at this switch.
+                    let cands = self.topo.candidates(node, packet.dst);
+                    debug_assert!(
+                        !cands.is_empty(),
+                        "switch {node} has no route to {}",
+                        packet.dst
+                    );
+                    let pick = if cands.len() == 1 {
+                        0
+                    } else {
+                        self.rng.next_bounded(cands.len() as u64) as usize
+                    };
+                    let next = cands[pick];
+                    if t.0 - now.0 > fid.cfg.max_lookahead.0 {
+                        // The walk's virtual clock has run too far ahead of
+                        // the wall clock (a long-haul hop, typically) for
+                        // current port state — or a `free_at` reservation —
+                        // to mean anything at `t`. Defer: the Inject fires
+                        // at `t` and re-tries the express path with fresh
+                        // state.
+                        fid.stats.deferrals += 1;
+                        self.events
+                            .schedule(t, Event::Inject { port: next, packet });
+                        break;
+                    }
+                    if self.port_is_cold(fid, next, t) {
+                        port = next;
+                    } else {
+                        // Hot port ahead: fall back to packet fidelity. The
+                        // Inject re-enters `enqueue_on_port` directly, so
+                        // the spray draw just made is not repeated.
+                        fid.stats.fallbacks += 1;
+                        self.events
+                            .schedule(t, Event::Inject { port: next, packet });
+                        break;
+                    }
+                }
+            }
+        }
+        fid.stats.packets += 1;
+        fid.stats.hops += hops;
+        // Each analytic hop elides one TxDone and one Arrival; the walk
+        // then schedules a single real event.
+        fid.stats.saved_events += 2 * hops - 1;
+        self.ledger.express += 1;
+        true
     }
 
     #[inline]
@@ -733,15 +1083,39 @@ impl Simulator {
         rt.busy = true;
         let spec = self.topo.port(port);
         let ser = spec.link.bandwidth.serialize_time(pkt.size);
-        let arrive = now + ser + spec.link.latency;
-        self.events.schedule(now + ser, Event::TxDone { port });
-        self.events.schedule(
-            arrive,
-            Event::Arrival {
-                node: spec.to,
-                packet: pkt,
-            },
-        );
+        // With hybrid fidelity the transmitter may owe virtual backlog from
+        // an earlier express walk; serialize behind it so per-port FIFO
+        // ordering survives the fidelity transition. Disabled, `start` is
+        // `now` and the schedule is bit-identical to the pre-fidelity
+        // engine.
+        let start = match &self.fidelity {
+            Some(f) => SimTime(now.0.max(f.free_at[port.index()])),
+            None => now,
+        };
+        let done = start + ser;
+        let arrive = done + spec.link.latency;
+        let to = spec.to;
+        self.events.schedule(done, Event::TxDone { port });
+        if let Some(f) = &mut self.fidelity {
+            f.free_at[port.index()] = done.0;
+        }
+        let exported = match &self.shard_of {
+            Some(of) if of[to.index()] != self.my_shard => {
+                self.outbox.push((arrive, to, pkt));
+                self.ledger.exported += 1;
+                true
+            }
+            _ => false,
+        };
+        if !exported {
+            self.events.schedule(
+                arrive,
+                Event::Arrival {
+                    node: to,
+                    packet: pkt,
+                },
+            );
+        }
         self.sample_trace(now, port);
     }
 

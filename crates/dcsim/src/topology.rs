@@ -83,6 +83,46 @@ pub(crate) struct NodeSpec {
     pub ports: Vec<PortId>,
 }
 
+/// Dimensions of a structured two-DC leaf–spine topology, for closed-form
+/// routing. With these, candidate sets are arithmetic over each node's
+/// in-order port list instead of a BFS-filled `nodes × hosts` table — the
+/// table is what caps the dense representation at a few hundred hosts
+/// (10k hosts × 20k nodes would be 200M inner vectors), while the closed
+/// form is O(1) memory at any scale.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TwoDcLayout {
+    /// Spines per datacenter.
+    pub spines: usize,
+    /// Leaves per datacenter.
+    pub leaves: usize,
+    /// Hosts per leaf.
+    pub hosts_per_leaf: usize,
+    /// Backbone routers per spine pair.
+    pub backbones_per_spine: usize,
+}
+
+impl TwoDcLayout {
+    fn nodes_per_dc(&self) -> usize {
+        self.leaves + self.spines + self.leaves * self.hosts_per_leaf
+    }
+
+    fn hosts_per_dc(&self) -> usize {
+        self.leaves * self.hosts_per_leaf
+    }
+}
+
+/// Route representation: a dense BFS table for arbitrary graphs, or the
+/// closed form for structured two-DC topologies. The closed form returns
+/// exactly the slices the BFS would have stored (same ports, same order),
+/// verified exhaustively by `structured_routes_match_bfs`.
+#[derive(Debug, Clone)]
+enum Routes {
+    /// routes[node][host] = equal-cost output ports toward that host.
+    Dense(Vec<Vec<Vec<PortId>>>),
+    /// Arithmetic candidates over the two-DC layout.
+    TwoDc(TwoDcLayout),
+}
+
 /// An immutable, route-annotated topology.
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -90,8 +130,9 @@ pub struct Topology {
     ports: Vec<PortSpec>,
     /// host index -> node id.
     hosts: Vec<NodeId>,
-    /// routes[node][host] = equal-cost output ports toward that host.
-    routes: Vec<Vec<Vec<PortId>>>,
+    routes: Routes,
+    /// host index -> the switch port transmitting to that host.
+    down_tor: Vec<PortId>,
 }
 
 /// Incrementally builds a [`Topology`].
@@ -223,16 +264,58 @@ impl TopologyBuilder {
                 debug_assert!(!routes[i][h].is_empty());
             }
         }
-        Topology {
-            nodes: self.nodes,
-            ports: self.ports,
-            hosts: self.hosts,
-            routes,
-        }
+        Topology::finish(self.nodes, self.ports, self.hosts, Routes::Dense(routes))
+    }
+
+    /// Freezes a topology constructed by [`two_dc_leaf_spine`] with
+    /// closed-form routing — no BFS and no `nodes × hosts` table, which is
+    /// what makes 10k+ host fleets constructible. The builder's contents
+    /// must match `layout` exactly (checked).
+    fn build_two_dc(self, layout: TwoDcLayout) -> Topology {
+        assert_eq!(self.nodes.len(), {
+            2 * layout.nodes_per_dc() + layout.spines * layout.backbones_per_spine
+        });
+        assert_eq!(self.hosts.len(), 2 * layout.hosts_per_dc());
+        Topology::finish(self.nodes, self.ports, self.hosts, Routes::TwoDc(layout))
     }
 }
 
 impl Topology {
+    /// Finalizes a topology: precomputes the dense host → down-ToR port
+    /// map (first port transmitting to each host, matching the historical
+    /// linear-scan order).
+    fn finish(
+        nodes: Vec<NodeSpec>,
+        ports: Vec<PortSpec>,
+        hosts: Vec<NodeId>,
+        routes: Routes,
+    ) -> Topology {
+        let mut host_of_node: Vec<Option<HostId>> = vec![None; nodes.len()];
+        for (h, &node) in hosts.iter().enumerate() {
+            host_of_node[node.index()] = Some(HostId(h as u32));
+        }
+        let mut down_tor: Vec<Option<PortId>> = vec![None; hosts.len()];
+        for (i, p) in ports.iter().enumerate() {
+            if let Some(host) = host_of_node[p.to.index()] {
+                let slot = &mut down_tor[host.index()];
+                if slot.is_none() {
+                    *slot = Some(PortId(i as u32));
+                }
+            }
+        }
+        let down_tor = down_tor
+            .into_iter()
+            .map(|p| p.expect("every host hangs off a switch"))
+            .collect();
+        Topology {
+            nodes,
+            ports,
+            hosts,
+            routes,
+            down_tor,
+        }
+    }
+
     /// Number of nodes (hosts + switches).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -291,18 +374,65 @@ impl Topology {
     /// receiver's down-ToR in the baseline, the proxy's under the proxy
     /// schemes).
     pub fn down_tor_port(&self, host: HostId) -> PortId {
-        let node = self.host_node(host);
-        (0..self.ports.len() as u32)
-            .map(PortId)
-            .find(|&p| self.ports[p.index()].to == node)
-            .expect("every host hangs off a switch")
+        self.down_tor[host.index()]
     }
 
     /// Equal-cost candidate ports at `node` toward `dst`.
     ///
     /// Empty exactly when `node` *is* the destination host.
+    #[inline]
     pub fn candidates(&self, node: NodeId, dst: HostId) -> &[PortId] {
-        &self.routes[node.index()][dst.index()]
+        match &self.routes {
+            Routes::Dense(r) => &r[node.index()][dst.index()],
+            Routes::TwoDc(l) => self.two_dc_candidates(*l, node, dst),
+        }
+    }
+
+    /// Closed-form equal-cost candidates for the structured two-DC
+    /// topology. Relies on the port-addition order of [`two_dc_leaf_spine`]:
+    /// leaves hold `[down_0..down_{K-1}, up_spine_0..up_spine_{S-1}]`,
+    /// spines `[to_leaf_0..to_leaf_{L-1}, to_bb_0..to_bb_{B-1}]`, backbones
+    /// `[to_spine_dc0, to_spine_dc1]`, hosts their single NIC — so every
+    /// BFS candidate set is a contiguous slice of the node's in-order port
+    /// list, and this returns those exact slices.
+    fn two_dc_candidates(&self, l: TwoDcLayout, node: NodeId, dst: HostId) -> &[PortId] {
+        let per_dc = l.nodes_per_dc();
+        let hosts_per_dc = l.hosts_per_dc();
+        let dst_dc = dst.index() / hosts_per_dc;
+        let local = dst.index() % hosts_per_dc;
+        let dst_leaf = local / l.hosts_per_leaf;
+        let dst_slot = local % l.hosts_per_leaf;
+        let ports = &self.nodes[node.index()].ports;
+        let i = node.index();
+        if i >= 2 * per_dc {
+            // Backbone router: one way on, toward the destination DC's
+            // peer spine.
+            return &ports[dst_dc..dst_dc + 1];
+        }
+        let dc = i / per_dc;
+        let off = i % per_dc;
+        if off < l.leaves {
+            // Leaf switch.
+            if dc == dst_dc && off == dst_leaf {
+                &ports[dst_slot..dst_slot + 1]
+            } else {
+                &ports[l.hosts_per_leaf..l.hosts_per_leaf + l.spines]
+            }
+        } else if off < l.leaves + l.spines {
+            // Spine switch.
+            if dc == dst_dc {
+                &ports[dst_leaf..dst_leaf + 1]
+            } else {
+                &ports[l.leaves..l.leaves + l.backbones_per_spine]
+            }
+        } else {
+            // Host: its single NIC, or nothing if it *is* the destination.
+            if self.hosts[dst.index()] == node {
+                &[]
+            } else {
+                ports
+            }
+        }
     }
 
     /// Number of hops (links) on a shortest path between two hosts.
@@ -504,8 +634,17 @@ fn jittered(link: LinkProps, jitter: f64, rng: &mut trace::SplitMix64) -> LinkPr
 /// Builds the two-datacenter leaf–spine topology of §4.1.
 ///
 /// Hosts `0 .. hosts_per_dc` are in DC 0, the rest in DC 1. Host `i` of a
-/// datacenter sits under leaf `i / hosts_per_leaf`.
+/// datacenter sits under leaf `i / hosts_per_leaf`. Routing is closed-form
+/// (no BFS table), so fleet-scale parameter choices (10k+ hosts) build in
+/// milliseconds and O(nodes + ports) memory.
 pub fn two_dc_leaf_spine(p: &TwoDcParams) -> Topology {
+    let (b, layout) = two_dc_builder(p);
+    b.build_two_dc(layout)
+}
+
+/// The builder half of [`two_dc_leaf_spine`], shared with the route-
+/// equivalence test (which freezes the same construction with BFS routes).
+fn two_dc_builder(p: &TwoDcParams) -> (TopologyBuilder, TwoDcLayout) {
     let mut b = TopologyBuilder::new();
     let mut jitter_rng = trace::SplitMix64::new(trace::derive_seed(p.jitter_seed, 0x70B0));
     let mut leaves = vec![Vec::new(); 2];
@@ -539,7 +678,13 @@ pub fn two_dc_leaf_spine(p: &TwoDcParams) -> Topology {
             b.add_duplex(spine1, bb, p.wan_link, p.dc_queue, p.backbone_queue);
         }
     }
-    b.build()
+    let layout = TwoDcLayout {
+        spines: p.spines_per_dc,
+        leaves: p.leaves_per_dc,
+        hosts_per_leaf: p.hosts_per_leaf,
+        backbones_per_spine: p.backbones_per_spine,
+    };
+    (b, layout)
 }
 
 #[cfg(test)]
@@ -672,6 +817,75 @@ mod tests {
         b.add_host(None);
         b.add_host(None);
         b.build();
+    }
+
+    /// The closed-form two-DC router must return exactly the candidate
+    /// slices BFS would have stored — same ports, same order — so packet
+    /// spraying draws identical picks and every golden stays bit-exact.
+    #[test]
+    fn structured_routes_match_bfs() {
+        let shapes = [
+            TwoDcParams::small_test(),
+            // Deliberately asymmetric to catch transposed dimensions.
+            TwoDcParams {
+                spines_per_dc: 3,
+                leaves_per_dc: 2,
+                hosts_per_leaf: 4,
+                backbones_per_spine: 2,
+                ..TwoDcParams::small_test()
+            },
+            TwoDcParams {
+                spines_per_dc: 2,
+                leaves_per_dc: 4,
+                hosts_per_leaf: 1,
+                backbones_per_spine: 3,
+                ..TwoDcParams::small_test()
+            },
+        ];
+        for p in shapes {
+            let structured = two_dc_leaf_spine(&p);
+            let (builder, _) = super::two_dc_builder(&p);
+            let dense = builder.build();
+            assert_eq!(structured.node_count(), dense.node_count());
+            for n in 0..structured.node_count() as u32 {
+                for h in 0..structured.host_count() as u32 {
+                    assert_eq!(
+                        structured.candidates(NodeId(n), HostId(h)),
+                        dense.candidates(NodeId(n), HostId(h)),
+                        "candidates diverge at node {n} toward host {h} \
+                         (shape {}x{}x{}x{})",
+                        p.spines_per_dc,
+                        p.leaves_per_dc,
+                        p.hosts_per_leaf,
+                        p.backbones_per_spine,
+                    );
+                }
+            }
+            for h in 0..structured.host_count() as u32 {
+                assert_eq!(
+                    structured.down_tor_port(HostId(h)),
+                    dense.down_tor_port(HostId(h))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_scale_topology_builds_cheaply() {
+        // 2 DCs x (16 leaves x 64 hosts) = 2048 hosts; with the dense BFS
+        // table this would be ~2100 nodes x 2048 hosts of route vectors.
+        let p = TwoDcParams {
+            spines_per_dc: 8,
+            leaves_per_dc: 16,
+            hosts_per_leaf: 64,
+            backbones_per_spine: 8,
+            ..TwoDcParams::default()
+        };
+        let t = two_dc_leaf_spine(&p);
+        assert_eq!(t.host_count(), 2048);
+        let dst = t.hosts_in_dc(1)[0];
+        assert_eq!(t.path_hops(HostId(0), dst), 6);
+        assert_eq!(t.candidates(t.host_node(HostId(0)), dst).len(), 1);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Performance snapshot: runs the simulator criterion suite plus a
 # reference sweep (fig2_left --quick, serial vs all cores) and writes the
-# results to BENCH_simulator.json so successive PRs can track the perf
-# trajectory.
+# results to BENCH_simulator.json, then runs the fleet criterion suite
+# plus a per-core-count sweep of the fleet binary and writes
+# BENCH_fleet.json, so successive PRs can track the perf trajectory.
+# scripts/perfgate.sh holds fresh criterion medians against these files.
 #
 #   scripts/bench.sh            # full criterion run + reference sweep
 #   scripts/bench.sh --offline  # for machines without registry access
@@ -76,10 +78,13 @@ summary = {
     "criterion": {},
 }
 # Harvest criterion point estimates; both real criterion and the offline
-# stub write mean/std_dev point estimates under target/criterion.
-root = "target/criterion"
-walk = os.walk(root) if os.path.isdir(root) else []
-for dirpath, _dirs, files in walk:
+# stub write mean/std_dev point estimates under <root>/criterion (the
+# stub resolves the path against the bench process cwd — the package
+# root — so look in both places).
+roots = [r for r in ("target/criterion", "crates/bench/target/criterion")
+         if os.path.isdir(r)]
+for root in roots:
+  for dirpath, _dirs, files in os.walk(root):
     if "estimates.json" in files and dirpath.endswith(os.sep + "new"):
         bench = os.path.relpath(os.path.dirname(dirpath), root).replace(os.sep, "/")
         with open(os.path.join(dirpath, "estimates.json")) as f:
@@ -93,3 +98,78 @@ with open(out, "w") as f:
     f.write("\n")
 print(f"wrote {out}")
 PY
+
+FLEET_OUT=BENCH_fleet.json
+
+echo "== cargo bench (fleet suite)"
+cargo bench "${OFFLINE[@]}" -p bench --bench fleet
+
+echo "== fleet per-core-count sweep"
+cargo build --release "${OFFLINE[@]}" -q -p bench --bin fleet
+FLEET_BIN=target/release/fleet
+SWEEP=$(mktemp)
+# Sweep worker threads 1..=cores; on a single-core machine also take a
+# 2-thread point so the windowed multi-thread path gets exercised (and
+# its oversubscription cost recorded) even here.
+THREADS=$(seq 1 "$CORES")
+if [ "$CORES" -eq 1 ]; then THREADS="1 2"; fi
+for t in $THREADS; do
+  echo "-- threads=$t (best of 3)"
+  BEST_LINE=""
+  BEST_RATE=0
+  for _ in 1 2 3; do
+    LINE=$("$FLEET_BIN" --threads "$t" --json)
+    RATE=$(printf '%s' "$LINE" | python3 -c 'import json,sys; print(int(json.load(sys.stdin)["effective_events_per_sec"]))')
+    if [ "$RATE" -gt "$BEST_RATE" ]; then BEST_RATE=$RATE; BEST_LINE=$LINE; fi
+  done
+  echo "$BEST_LINE" | tee -a "$SWEEP"
+done
+
+echo "== writing $FLEET_OUT"
+python3 - "$FLEET_OUT" "$GIT_REV" "$CORES" "$SWEEP" <<'PY'
+import json, os, sys
+
+out, rev, cores, sweep_file = sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4]
+with open(sweep_file) as f:
+    runs = [json.loads(line) for line in f if line.strip()]
+# Scenario parameters are identical across the sweep; lift them out once.
+scenario_keys = (
+    "pods", "shards", "degree", "background_per_dc", "mb_per_sender",
+    "fidelity", "seed", "flows", "effective_events",
+)
+summary = {
+    "suite": "fleet",
+    "git_rev": rev,
+    "cores": cores,
+    "scenario": {k: runs[0][k] for k in scenario_keys},
+    "sweep": [
+        {
+            "threads": r["threads"],
+            "wall_secs": r["wall_secs"],
+            "events_per_sec": r["events_per_sec"],
+            "effective_events_per_sec": r["effective_events_per_sec"],
+        }
+        for r in runs
+    ],
+    "criterion": {},
+}
+roots = [r for r in ("target/criterion/fleet", "crates/bench/target/criterion/fleet")
+         if os.path.isdir(r)]
+for root in roots:
+  for dirpath, _dirs, files in os.walk(root):
+    if "estimates.json" in files and dirpath.endswith(os.sep + "new"):
+        bench = "fleet/" + os.path.relpath(os.path.dirname(dirpath), root).replace(os.sep, "/")
+        with open(os.path.join(dirpath, "estimates.json")) as f:
+            est = json.load(f)
+        summary["criterion"][bench] = {
+            "mean_ns": est["mean"]["point_estimate"],
+            "std_dev_ns": est["std_dev"]["point_estimate"],
+        }
+best = max(r["effective_events_per_sec"] for r in runs)
+summary["scenario"]["best_effective_events_per_sec"] = best
+with open(out, "w") as f:
+    json.dump(summary, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out} (best {best/1e6:.2f}M effective events/sec)")
+PY
+rm -f "$SWEEP"

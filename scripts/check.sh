@@ -35,6 +35,9 @@ cargo test "${OFFLINE[@]}" --test timer_identity -q
 echo "== cargo test"
 cargo test --workspace "${OFFLINE[@]}" -q
 
+echo "== perfgate (criterion medians vs committed BENCH baselines, >10% fails; PERFGATE_SKIP=1 to skip)"
+scripts/perfgate.sh "${OFFLINE[@]}"
+
 echo "== chaos fuzz (bounded campaign, fixed seed range; repros land in target/fuzz-repros)"
 cargo run --release "${OFFLINE[@]}" -q -p bench --bin fuzz -- --count 500 --start-seed 1
 
