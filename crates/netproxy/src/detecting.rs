@@ -29,6 +29,9 @@ pub struct DetectingStats {
     pub reversed: AtomicU64,
     /// Malformed datagrams dropped.
     pub dropped: AtomicU64,
+    /// Outbound datagrams the kernel refused (previously swallowed with
+    /// `let _ = socket.send_to(..)`).
+    pub send_errors: AtomicU64,
 }
 
 /// A running detecting UDP proxy.
@@ -75,14 +78,20 @@ impl DetectingUdpProxy {
                             last_activity.insert(header.flow, tokio::time::Instant::now());
                             for loss in detector.observe(flow_key, header.seq) {
                                 let nack = WireHeader::nack(header.flow, loss.seq).encode(&[]);
-                                let _ = socket.send_to(&nack, from).await;
-                                st.nacks.fetch_add(1, Ordering::Relaxed);
+                                match socket.send_to(&nack, from).await {
+                                    Ok(_) => st.nacks.fetch_add(1, Ordering::Relaxed),
+                                    Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
+                                };
                             }
-                            let _ = socket.send_to(datagram, receiver).await;
-                            st.forwarded.fetch_add(1, Ordering::Relaxed);
+                            match socket.send_to(datagram, receiver).await {
+                                Ok(_) => st.forwarded.fetch_add(1, Ordering::Relaxed),
+                                Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
+                            };
                         } else if let Some(&sender) = senders.get(&header.flow) {
-                            let _ = socket.send_to(datagram, sender).await;
-                            st.reversed.fetch_add(1, Ordering::Relaxed);
+                            match socket.send_to(datagram, sender).await {
+                                Ok(_) => st.reversed.fetch_add(1, Ordering::Relaxed),
+                                Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
+                            };
                         } else {
                             st.dropped.fetch_add(1, Ordering::Relaxed);
                         }
@@ -98,8 +107,10 @@ impl DetectingUdpProxy {
                             }
                             for loss in detector.sweep(dcsim_flow(flow)) {
                                 let nack = WireHeader::nack(flow, loss.seq).encode(&[]);
-                                let _ = socket.send_to(&nack, sender).await;
-                                st.nacks.fetch_add(1, Ordering::Relaxed);
+                                match socket.send_to(&nack, sender).await {
+                                    Ok(_) => st.nacks.fetch_add(1, Ordering::Relaxed),
+                                    Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
+                                };
                             }
                         }
                     }
@@ -145,11 +156,8 @@ fn dcsim_flow(flow: u64) -> dcsim::packet::FlowId {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::loopback;
     use crate::wire::MAX_PAYLOAD;
-
-    fn loopback() -> SocketAddr {
-        "127.0.0.1:0".parse().expect("addr")
-    }
 
     fn config() -> LossDetectorConfig {
         LossDetectorConfig {
@@ -263,5 +271,21 @@ mod tests {
         let forwarded = drain.await.unwrap();
         assert!(forwarded >= 45, "most datagrams forwarded: {forwarded}");
         assert_eq!(proxy.stats().nacks.load(Ordering::Relaxed), 0);
+    }
+
+    #[tokio::test]
+    async fn send_errors_are_counted_not_swallowed() {
+        // Receiver port 0 makes every forward fail at send_to.
+        let unreachable: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let proxy =
+            DetectingUdpProxy::start(loopback(), unreachable, config(), Duration::from_millis(50))
+                .await
+                .unwrap();
+        let sender = UdpSocket::bind(loopback()).await.unwrap();
+        let wire = WireHeader::data(3, 0, 4).encode(&[9, 9, 9, 9]);
+        sender.send_to(&wire, proxy.local_addr()).await.unwrap();
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        assert_eq!(proxy.stats().send_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(proxy.stats().forwarded.load(Ordering::Relaxed), 0);
     }
 }

@@ -17,6 +17,11 @@
 //!   networks *without* trimming support: early NACKs from gap inference
 //!   (`incast-core`'s bounded-memory loss detector) plus a quiescence
 //!   sweep for tail losses.
+//! * [`batch`] / [`shard`] — the line-rate datapath (ROADMAP item 3):
+//!   a batched socket layer (`recvmmsg`/`sendmmsg` on Linux, portable
+//!   fallback elsewhere), zero-copy [`wire::DatagramView`] parsing, and
+//!   a per-core `SO_REUSEPORT`-sharded relay engine that runs all three
+//!   relay variants with no cross-shard locks. See DESIGN.md §13.
 //! * [`transport`] — a minimal NACK-driven reliable transport over the
 //!   wire format, for closed-loop end-to-end demonstrations.
 //! * [`loadgen`] — an iperf-like constant-rate load generator for both
@@ -32,17 +37,24 @@
 //! while trimming is emulated by the load generator's token bucket. See
 //! DESIGN.md §3 for the substitution table.
 
+pub mod batch;
 pub mod detecting;
 pub mod loadgen;
 pub mod naive;
+pub mod shard;
 pub mod streamlined;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod transport;
 pub mod wire;
 
+pub use batch::{BatchIo, RecvRing, SendQueue, SocketLayer, BATCH};
 pub use detecting::DetectingUdpProxy;
+pub use loadgen::{BatchLoadGen, BatchLoadReport, BatchSink, SinkStats};
 pub use naive::NaiveProxy;
+pub use shard::{RelayConfig, RelayKind, RelayStats, ShardedRelay};
 pub use streamlined::{decide, Action, StreamlinedUdpProxy};
 pub use transport::{
     FallbackConfig, ReliableReceiver, ReliableSender, TransferStats, TransportError,
 };
-pub use wire::{Flags, WireHeader, WIRE_HEADER_LEN};
+pub use wire::{DatagramView, Flags, WireHeader, MAX_DATAGRAM, WIRE_HEADER_LEN};

@@ -25,6 +25,7 @@ pub struct NaiveProxy {
     recorder: LatencyRecorder,
     bytes_relayed: Arc<AtomicU64>,
     connections: Arc<AtomicU64>,
+    relay_errors: Arc<AtomicU64>,
     shutdown: watch::Sender<bool>,
 }
 
@@ -37,11 +38,13 @@ impl NaiveProxy {
         let recorder = LatencyRecorder::new();
         let bytes_relayed = Arc::new(AtomicU64::new(0));
         let connections = Arc::new(AtomicU64::new(0));
+        let relay_errors = Arc::new(AtomicU64::new(0));
         let (shutdown, shutdown_rx) = watch::channel(false);
 
         let rec = recorder.clone();
         let bytes = bytes_relayed.clone();
         let conns = connections.clone();
+        let errors = relay_errors.clone();
         tokio::spawn(async move {
             let mut shutdown_rx = shutdown_rx;
             loop {
@@ -51,14 +54,16 @@ impl NaiveProxy {
                         conns.fetch_add(1, Ordering::Relaxed);
                         let rec = rec.clone();
                         let bytes = bytes.clone();
+                        let errors = errors.clone();
                         let mut conn_shutdown = shutdown_rx.clone();
                         tokio::spawn(async move {
                             tokio::select! {
                                 r = relay_connection(inbound, upstream, rec, bytes) => {
-                                    if let Err(e) = r {
-                                        // Connection errors are per-flow events,
-                                        // not proxy failures.
-                                        let _ = e;
+                                    // Connection errors are per-flow events, not
+                                    // proxy failures — but an operator must see
+                                    // them, so they are counted, not swallowed.
+                                    if r.is_err() {
+                                        errors.fetch_add(1, Ordering::Relaxed);
                                     }
                                 }
                                 _ = conn_shutdown.changed() => {}
@@ -75,6 +80,7 @@ impl NaiveProxy {
             recorder,
             bytes_relayed,
             connections,
+            relay_errors,
             shutdown,
         })
     }
@@ -97,6 +103,11 @@ impl NaiveProxy {
     /// Connections accepted so far.
     pub fn connections(&self) -> u64 {
         self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Relays that ended with an error (upstream dial failures, resets).
+    pub fn relay_errors(&self) -> u64 {
+        self.relay_errors.load(Ordering::Relaxed)
     }
 
     /// Stops accepting and tears down active relays.
@@ -161,11 +172,8 @@ async fn relay_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::loopback;
     use tokio::net::TcpListener;
-
-    fn loopback() -> SocketAddr {
-        "127.0.0.1:0".parse().expect("valid addr")
-    }
 
     async fn echo_server() -> (SocketAddr, tokio::task::JoinHandle<()>) {
         let listener = TcpListener::bind(loopback()).await.unwrap();
@@ -250,6 +258,27 @@ mod tests {
             h.await.unwrap();
         }
         assert_eq!(proxy.connections(), 8);
+    }
+
+    #[tokio::test]
+    async fn failed_relays_are_counted_not_swallowed() {
+        // An upstream that refuses connections: bind, learn the port, drop.
+        let upstream = {
+            let dead = TcpListener::bind(loopback()).await.unwrap();
+            dead.local_addr().unwrap()
+        };
+        let proxy = NaiveProxy::start(loopback(), upstream).await.unwrap();
+        let mut client = TcpStream::connect(proxy.local_addr()).await.unwrap();
+        client.write_all(b"doomed").await.ok();
+        let start = std::time::Instant::now();
+        while proxy.relay_errors() == 0 {
+            assert!(
+                start.elapsed() < std::time::Duration::from_secs(2),
+                "relay error never surfaced"
+            );
+            tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+        }
+        assert_eq!(proxy.relay_errors(), 1);
     }
 
     #[tokio::test]

@@ -72,6 +72,9 @@ pub struct StreamlinedStats {
     pub reversed: AtomicU64,
     /// Malformed datagrams dropped.
     pub dropped: AtomicU64,
+    /// Outbound datagrams the kernel refused (previously swallowed with
+    /// `let _ = socket.send_to(..)` — an operator-invisible black hole).
+    pub send_errors: AtomicU64,
 }
 
 /// A running streamlined UDP proxy.
@@ -114,20 +117,28 @@ impl StreamlinedUdpProxy {
                                 if let Ok((h, _)) = WireHeader::decode(datagram) {
                                     senders.insert(h.flow, from);
                                 }
-                                let _ = socket.send_to(datagram, receiver).await;
-                                st.forwarded.fetch_add(1, Ordering::Relaxed);
+                                match socket.send_to(datagram, receiver).await {
+                                    Ok(_) => st.forwarded.fetch_add(1, Ordering::Relaxed),
+                                    Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
+                                };
                             }
                             Action::NackToSender { flow, seq } => {
                                 senders.insert(flow, from);
                                 let nack = WireHeader::nack(flow, seq).encode(&[]);
-                                let _ = socket.send_to(&nack, from).await;
-                                st.nacks.fetch_add(1, Ordering::Relaxed);
+                                match socket.send_to(&nack, from).await {
+                                    Ok(_) => st.nacks.fetch_add(1, Ordering::Relaxed),
+                                    Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
+                                };
                             }
                             Action::ForwardToSender => {
                                 if let Ok((h, _)) = WireHeader::decode(datagram) {
                                     if let Some(&sender) = senders.get(&h.flow) {
-                                        let _ = socket.send_to(datagram, sender).await;
-                                        st.reversed.fetch_add(1, Ordering::Relaxed);
+                                        match socket.send_to(datagram, sender).await {
+                                            Ok(_) => st.reversed.fetch_add(1, Ordering::Relaxed),
+                                            Err(_) => {
+                                                st.send_errors.fetch_add(1, Ordering::Relaxed)
+                                            }
+                                        };
                                     } else {
                                         st.dropped.fetch_add(1, Ordering::Relaxed);
                                     }
@@ -216,51 +227,40 @@ mod tests {
         assert_eq!(decide(&[0xFFu8; 64]), Action::Drop);
     }
 
-    fn loopback() -> SocketAddr {
-        "127.0.0.1:0".parse().expect("valid")
-    }
-
-    async fn recv_with_timeout(sock: &UdpSocket, buf: &mut [u8]) -> (usize, SocketAddr) {
-        tokio::time::timeout(Duration::from_secs(2), sock.recv_from(buf))
-            .await
-            .expect("timed out")
-            .expect("recv failed")
-    }
+    use crate::testutil::{bind_udp, loopback, recv_decoded, recv_with_timeout};
 
     #[tokio::test]
     async fn forwards_data_to_receiver() {
-        let receiver = UdpSocket::bind(loopback()).await.unwrap();
+        let receiver = bind_udp().await;
         let proxy = StreamlinedUdpProxy::start(loopback(), receiver.local_addr().unwrap())
             .await
             .unwrap();
-        let sender = UdpSocket::bind(loopback()).await.unwrap();
+        let sender = bind_udp().await;
 
         let wire = WireHeader::data(3, 1, 4).encode(&[9, 9, 9, 9]);
         sender.send_to(&wire, proxy.local_addr()).await.unwrap();
 
         let mut buf = [0u8; 2048];
-        let (n, _) = recv_with_timeout(&receiver, &mut buf).await;
-        let (h, p) = WireHeader::decode(&buf[..n]).unwrap();
+        let (h, p, _) = recv_decoded(&receiver, &mut buf).await;
         assert_eq!(h.flow, 3);
-        assert_eq!(p, &[9, 9, 9, 9]);
+        assert_eq!(p, vec![9, 9, 9, 9]);
         assert_eq!(proxy.stats().forwarded.load(Ordering::Relaxed), 1);
     }
 
     #[tokio::test]
     async fn nacks_trimmed_headers_to_sender() {
-        let receiver = UdpSocket::bind(loopback()).await.unwrap();
+        let receiver = bind_udp().await;
         let proxy = StreamlinedUdpProxy::start(loopback(), receiver.local_addr().unwrap())
             .await
             .unwrap();
-        let sender = UdpSocket::bind(loopback()).await.unwrap();
+        let sender = bind_udp().await;
 
         let wire = WireHeader::trimmed(3, 42).encode(&[]);
         sender.send_to(&wire, proxy.local_addr()).await.unwrap();
 
         let mut buf = [0u8; 2048];
-        let (n, from) = recv_with_timeout(&sender, &mut buf).await;
+        let (h, _, from) = recv_decoded(&sender, &mut buf).await;
         assert_eq!(from, proxy.local_addr());
-        let (h, _) = WireHeader::decode(&buf[..n]).unwrap();
         assert!(h.flags.contains(Flags::NACK));
         assert_eq!(h.seq, 42);
         assert_eq!(proxy.stats().nacks.load(Ordering::Relaxed), 1);
@@ -268,11 +268,11 @@ mod tests {
 
     #[tokio::test]
     async fn reverse_path_reaches_the_sender() {
-        let receiver = UdpSocket::bind(loopback()).await.unwrap();
+        let receiver = bind_udp().await;
         let proxy = StreamlinedUdpProxy::start(loopback(), receiver.local_addr().unwrap())
             .await
             .unwrap();
-        let sender = UdpSocket::bind(loopback()).await.unwrap();
+        let sender = bind_udp().await;
 
         // Teach the proxy flow 8's sender address with a data packet.
         let data = WireHeader::data(8, 0, 1).encode(&[1]);
@@ -283,19 +283,18 @@ mod tests {
         // Receiver acks via the proxy.
         let ack = WireHeader::ack(8, 0).encode(&[]);
         receiver.send_to(&ack, proxy.local_addr()).await.unwrap();
-        let (n, _) = recv_with_timeout(&sender, &mut buf).await;
-        let (h, _) = WireHeader::decode(&buf[..n]).unwrap();
+        let (h, _, _) = recv_decoded(&sender, &mut buf).await;
         assert!(h.flags.contains(Flags::ACK));
         assert_eq!(proxy.stats().reversed.load(Ordering::Relaxed), 1);
     }
 
     #[tokio::test]
     async fn drops_garbage_and_counts() {
-        let receiver = UdpSocket::bind(loopback()).await.unwrap();
+        let receiver = bind_udp().await;
         let proxy = StreamlinedUdpProxy::start(loopback(), receiver.local_addr().unwrap())
             .await
             .unwrap();
-        let sender = UdpSocket::bind(loopback()).await.unwrap();
+        let sender = bind_udp().await;
         sender
             .send_to(&[0xAB; 50], proxy.local_addr())
             .await
@@ -308,11 +307,11 @@ mod tests {
 
     #[tokio::test]
     async fn records_processing_latency() {
-        let receiver = UdpSocket::bind(loopback()).await.unwrap();
+        let receiver = bind_udp().await;
         let proxy = StreamlinedUdpProxy::start(loopback(), receiver.local_addr().unwrap())
             .await
             .unwrap();
-        let sender = UdpSocket::bind(loopback()).await.unwrap();
+        let sender = bind_udp().await;
         for seq in 0..20 {
             let wire = WireHeader::data(1, seq, 8).encode(&[0; 8]);
             sender.send_to(&wire, proxy.local_addr()).await.unwrap();
@@ -322,5 +321,20 @@ mod tests {
             recv_with_timeout(&receiver, &mut buf).await;
         }
         assert!(proxy.recorder().count() >= 20);
+    }
+
+    #[tokio::test]
+    async fn send_errors_are_counted_not_swallowed() {
+        // Receiver port 0 makes every forward fail at send_to.
+        let unreachable: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let proxy = StreamlinedUdpProxy::start(loopback(), unreachable)
+            .await
+            .unwrap();
+        let sender = bind_udp().await;
+        let wire = WireHeader::data(3, 1, 4).encode(&[9, 9, 9, 9]);
+        sender.send_to(&wire, proxy.local_addr()).await.unwrap();
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        assert_eq!(proxy.stats().send_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(proxy.stats().forwarded.load(Ordering::Relaxed), 0);
     }
 }

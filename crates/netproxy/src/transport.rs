@@ -345,10 +345,7 @@ impl ReliableReceiver {
 mod tests {
     use super::*;
     use crate::streamlined::StreamlinedUdpProxy;
-
-    fn loopback() -> SocketAddr {
-        "127.0.0.1:0".parse().expect("addr")
-    }
+    use crate::testutil::loopback;
 
     /// Full closed loop: sender -> proxy -> receiver, acks back through
     /// the proxy, no loss.

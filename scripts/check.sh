@@ -35,6 +35,9 @@ cargo test "${OFFLINE[@]}" --test timer_identity -q
 echo "== cargo test"
 cargo test --workspace "${OFFLINE[@]}" -q
 
+echo "== netproxy loadgen smoke (every variant x every socket layer, zero unexplained loss)"
+cargo run --release "${OFFLINE[@]}" -q -p bench --bin netproxy_load -- --smoke
+
 echo "== perfgate (criterion medians vs committed BENCH baselines, >10% fails; PERFGATE_SKIP=1 to skip)"
 scripts/perfgate.sh "${OFFLINE[@]}"
 

@@ -6,7 +6,7 @@
 # but never fail. Refresh baselines with scripts/bench.sh after an
 # intentional perf change.
 #
-#   scripts/perfgate.sh            # run gate (simulator + fleet suites)
+#   scripts/perfgate.sh            # run gate (simulator + fleet + netproxy)
 #   scripts/perfgate.sh --offline  # offline criterion stub, same gate
 #   PERFGATE_SKIP=1 scripts/perfgate.sh   # skip (e.g. loaded CI hosts)
 set -euo pipefail
@@ -33,10 +33,12 @@ THRESHOLD="${PERFGATE_THRESHOLD:-0.10}"
 declare -A BASELINES=(
   [simulator]=BENCH_simulator.json
   [fleet]=BENCH_fleet.json
+  [orchestrator]=BENCH_orchestrator.json
+  [netproxy]=BENCH_netproxy.json
 )
 
 FAIL=0
-for suite in simulator fleet; do
+for suite in simulator fleet orchestrator netproxy; do
   baseline="${BASELINES[$suite]}"
   if [ ! -f "$baseline" ]; then
     echo "perfgate: no baseline $baseline — skipping $suite suite"
