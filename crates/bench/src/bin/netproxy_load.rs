@@ -127,6 +127,8 @@ impl SingleDatagramRelay {
                                 senders.insert(h.flow, from);
                             }
                             match socket.send_to(datagram, receiver) {
+                                // ordering: Relaxed — monotone stats counters, read
+                                // by a snapshot that tolerates staleness.
                                 Ok(_) => st.forwarded.fetch_add(1, Ordering::Relaxed),
                                 Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
                             };
@@ -135,6 +137,7 @@ impl SingleDatagramRelay {
                             senders.insert(flow, from);
                             let nack = WireHeader::nack(flow, seq).encode(&[]);
                             match socket.send_to(&nack, from) {
+                                // ordering: Relaxed — monotone stats counters.
                                 Ok(_) => st.nacks.fetch_add(1, Ordering::Relaxed),
                                 Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
                             };
@@ -143,15 +146,18 @@ impl SingleDatagramRelay {
                             if let Ok((h, _)) = WireHeader::decode(datagram) {
                                 if let Some(&sender) = senders.get(&h.flow) {
                                     match socket.send_to(datagram, sender) {
+                                        // ordering: Relaxed — monotone stats counters.
                                         Ok(_) => st.reversed.fetch_add(1, Ordering::Relaxed),
                                         Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
                                     };
                                 } else {
+                                    // ordering: Relaxed — monotone stats counter.
                                     st.dropped.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
                         }
                         Action::Drop => {
+                            // ordering: Relaxed — monotone stats counter.
                             st.dropped.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -166,6 +172,8 @@ impl SingleDatagramRelay {
 
     fn stats(&self) -> RelayStats {
         RelayStats {
+            // ordering: Relaxed — end-of-run snapshot; the relay thread has
+            // quiesced by the time anyone reads these.
             forwarded: self.stats.forwarded.load(Ordering::Relaxed),
             nacks: self.stats.nacks.load(Ordering::Relaxed),
             reversed: self.stats.reversed.load(Ordering::Relaxed),

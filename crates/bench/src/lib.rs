@@ -169,6 +169,8 @@ impl SweepRunner {
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
+                    // ordering: Relaxed — work-stealing ticket counter; the
+                    // Mutex around each result slot publishes the data.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
                     let result = work(cell);

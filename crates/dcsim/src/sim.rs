@@ -1314,6 +1314,8 @@ mod dispatch_tests {
 
     impl Agent for Probe {
         fn on_start(&mut self, ctx: &mut Ctx) {
+            // ordering: Relaxed — the simulator is single-threaded; atomics
+            // here only give the test probes shared mutability.
             self.started_at.store(ctx.now.0, Ordering::Relaxed);
             ctx.arm_timer(
                 ctx.now + SimDuration::from_micros(5),
@@ -1326,11 +1328,13 @@ mod dispatch_tests {
         fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx) {}
         fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx) {
             if matches!(kind, TimerKind::Custom { tag: 7, .. }) {
+                // ordering: Relaxed — single-threaded simulator, see on_start.
                 self.timer_at.store(ctx.now.0, Ordering::Relaxed);
             }
         }
         fn on_note(&mut self, note: Note, _ctx: &mut Ctx) {
             if let Note::PacketsGranted { count } = note {
+                // ordering: Relaxed — single-threaded simulator, see on_start.
                 self.notified.fetch_add(count, Ordering::Relaxed);
             }
         }
@@ -1350,8 +1354,10 @@ mod dispatch_tests {
         let start = SimTime::ZERO + SimDuration::from_micros(3);
         sim.schedule_start(start, agent);
         sim.run(None);
+        // ordering: Relaxed — single-threaded readback after the run.
         assert_eq!(started.load(Ordering::Relaxed), start.0);
         assert_eq!(
+            // ordering: Relaxed — single-threaded readback after the run.
             fired.load(Ordering::Relaxed),
             (start + SimDuration::from_micros(5)).0
         );
@@ -1375,6 +1381,7 @@ mod dispatch_tests {
         }));
         sim.schedule_start(SimTime::ZERO, sender);
         sim.run(None);
+        // ordering: Relaxed — single-threaded readback after the run.
         assert_eq!(notified.load(Ordering::Relaxed), 3);
     }
 
@@ -1410,6 +1417,7 @@ mod dispatch_tests {
                 panic!("slot 1 was canceled and must never fire");
             };
             assert_eq!(tag, 99, "only the last re-arm's payload may fire");
+            // ordering: Relaxed — single-threaded simulator test probe.
             self.fired.fetch_add(1, Ordering::Relaxed);
             if self.rounds_left > 0 {
                 self.rounds_left -= 1;
@@ -1435,6 +1443,7 @@ mod dispatch_tests {
         sim.schedule_start(SimTime::ZERO, agent);
         let report = sim.run(None);
         assert_eq!(report.stop, crate::sim::StopReason::Idle);
+        // ordering: Relaxed — single-threaded readback after the run.
         assert_eq!(fired.load(Ordering::Relaxed), 10, "one firing per round");
         let churn = sim.metrics().timer_churn;
         // Slot 0: 1 fresh arm, 98 in-place moves in `on_start`, and one

@@ -69,6 +69,8 @@ impl DetectingUdpProxy {
                         let Ok((n, from)) = r else { break };
                         let datagram = &buf[..n];
                         let Ok((header, _payload)) = WireHeader::decode(datagram) else {
+                            // ordering: Relaxed — monotone stats counter, no
+                            // cross-thread data published through it.
                             st.dropped.fetch_add(1, Ordering::Relaxed);
                             continue;
                         };
@@ -79,20 +81,24 @@ impl DetectingUdpProxy {
                             for loss in detector.observe(flow_key, header.seq) {
                                 let nack = WireHeader::nack(header.flow, loss.seq).encode(&[]);
                                 match socket.send_to(&nack, from).await {
+                                    // ordering: Relaxed — monotone stats counters.
                                     Ok(_) => st.nacks.fetch_add(1, Ordering::Relaxed),
                                     Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
                                 };
                             }
                             match socket.send_to(datagram, receiver).await {
+                                // ordering: Relaxed — monotone stats counters.
                                 Ok(_) => st.forwarded.fetch_add(1, Ordering::Relaxed),
                                 Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
                             };
                         } else if let Some(&sender) = senders.get(&header.flow) {
                             match socket.send_to(datagram, sender).await {
+                                // ordering: Relaxed — monotone stats counters.
                                 Ok(_) => st.reversed.fetch_add(1, Ordering::Relaxed),
                                 Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
                             };
                         } else {
+                            // ordering: Relaxed — monotone stats counter.
                             st.dropped.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -108,6 +114,7 @@ impl DetectingUdpProxy {
                             for loss in detector.sweep(dcsim_flow(flow)) {
                                 let nack = WireHeader::nack(flow, loss.seq).encode(&[]);
                                 match socket.send_to(&nack, sender).await {
+                                    // ordering: Relaxed — monotone stats counters.
                                     Ok(_) => st.nacks.fetch_add(1, Ordering::Relaxed),
                                     Err(_) => st.send_errors.fetch_add(1, Ordering::Relaxed),
                                 };
@@ -153,7 +160,8 @@ fn dcsim_flow(flow: u64) -> dcsim::packet::FlowId {
     dcsim::packet::FlowId(flow as u32)
 }
 
-#[cfg(test)]
+// Socket tests are skipped under Miri (real sockets need real syscalls).
+#[cfg(all(test, not(miri)))]
 mod tests {
     use super::*;
     use crate::testutil::loopback;
@@ -207,6 +215,7 @@ mod tests {
         let (h, _) = WireHeader::decode(&buf[..n]).unwrap();
         assert!(h.flags.contains(Flags::NACK));
         assert_eq!(h.seq, 1);
+        // ordering: Relaxed — test readback after the NACK was observed.
         assert!(proxy.stats().nacks.load(Ordering::Relaxed) >= 1);
     }
 
@@ -270,6 +279,7 @@ mod tests {
         }
         let forwarded = drain.await.unwrap();
         assert!(forwarded >= 45, "most datagrams forwarded: {forwarded}");
+        // ordering: Relaxed — test readback after the drain completed.
         assert_eq!(proxy.stats().nacks.load(Ordering::Relaxed), 0);
     }
 
@@ -285,6 +295,7 @@ mod tests {
         let wire = WireHeader::data(3, 0, 4).encode(&[9, 9, 9, 9]);
         sender.send_to(&wire, proxy.local_addr()).await.unwrap();
         tokio::time::sleep(Duration::from_millis(50)).await;
+        // ordering: Relaxed — stats counters carry no payload; the sleep is the sync.
         assert_eq!(proxy.stats().send_errors.load(Ordering::Relaxed), 1);
         assert_eq!(proxy.stats().forwarded.load(Ordering::Relaxed), 0);
     }

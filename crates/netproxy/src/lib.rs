@@ -37,13 +37,20 @@
 //! while trimming is emulated by the load generator's token bucket. See
 //! DESIGN.md §3 for the substitution table.
 
+// netproxy is the one workspace crate allowed to contain `unsafe` (the
+// libc FFI in `batch`); every block must carry a `// SAFETY:` comment
+// (simlint `unsafe-without-safety`) and unsafe operations inside unsafe
+// fns still need their own blocks.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod batch;
 pub mod detecting;
 pub mod loadgen;
 pub mod naive;
 pub mod shard;
 pub mod streamlined;
-#[cfg(test)]
+pub(crate) mod sync;
+#[cfg(all(test, not(miri)))]
 pub(crate) mod testutil;
 pub mod transport;
 pub mod wire;

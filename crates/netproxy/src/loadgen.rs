@@ -102,6 +102,7 @@ pub async fn tcp_sink() -> io::Result<(SocketAddr, Arc<AtomicU64>)> {
                     match s.read(&mut buf).await {
                         Ok(0) | Err(_) => break,
                         Ok(n) => {
+                            // ordering: Relaxed — monotone byte counter, no payload.
                             c.fetch_add(n as u64, Ordering::Relaxed);
                         }
                     }
@@ -468,6 +469,8 @@ impl BatchSink {
                     .name(format!("sink-{i}"))
                     .spawn(move || {
                         let mut ring = RecvRing::new();
+                        // ordering: Acquire — pairs with shutdown()'s Release store
+                        // so work done before the stop request is visible here.
                         while !stop.load(Ordering::Acquire) {
                             let got = match io.recv_batch(&mut ring) {
                                 Ok(n) => n,
@@ -499,6 +502,8 @@ impl BatchSink {
                                     Err(_) => bad += 1,
                                 }
                             }
+                            // ordering: Relaxed — per-batch monotone counters; exact
+                            // totals are read only after the thread joins.
                             c.received.fetch_add(rx, Ordering::Relaxed);
                             c.bytes.fetch_add(by, Ordering::Relaxed);
                             c.trimmed.fetch_add(tr, Ordering::Relaxed);
@@ -527,6 +532,8 @@ impl BatchSink {
     pub fn stats(&self) -> SinkStats {
         let mut s = SinkStats::default();
         for c in &self.counters {
+            // ordering: Relaxed — live snapshot; tolerates mid-batch staleness,
+            // exact once shutdown() has joined the sink threads.
             s.received += c.received.load(Ordering::Relaxed);
             s.bytes += c.bytes.load(Ordering::Relaxed);
             s.trimmed += c.trimmed.load(Ordering::Relaxed);
@@ -543,6 +550,7 @@ impl BatchSink {
 
     /// Stops and joins the sink threads.
     pub fn shutdown(&mut self) {
+        // ordering: Release — pairs with the sink threads' Acquire poll.
         self.stop.store(true, Ordering::Release);
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -557,6 +565,20 @@ impl Drop for BatchSink {
 }
 
 #[cfg(test)]
+mod config_tests {
+    use super::*;
+
+    #[test]
+    fn scaled_defaults_are_sane() {
+        let t = TcpLoadGen::scaled_default();
+        assert!(t.rate_bps > 0 && t.chunk > 0);
+        let u = UdpLoadGen::scaled_default(1);
+        assert!(u.switch_rate_bps < u.rate_bps, "default must induce trims");
+    }
+}
+
+// Socket tests are skipped under Miri (real loopback sockets).
+#[cfg(all(test, not(miri)))]
 mod tests {
     use super::*;
 
@@ -577,6 +599,7 @@ mod tests {
         );
         // Sink eventually sees everything.
         tokio::time::sleep(Duration::from_millis(200)).await;
+        // ordering: Relaxed — test readback; the sleep above is the sync.
         assert_eq!(counter.load(Ordering::Relaxed), stats.sent_bytes);
     }
 
@@ -631,14 +654,6 @@ mod tests {
         let stats = gen.run(&sock, target).await.unwrap();
         assert_eq!(stats.trimmed_packets, 0, "{stats:?}");
         assert!(stats.sent_packets > 50);
-    }
-
-    #[test]
-    fn scaled_defaults_are_sane() {
-        let t = TcpLoadGen::scaled_default();
-        assert!(t.rate_bps > 0 && t.chunk > 0);
-        let u = UdpLoadGen::scaled_default(1);
-        assert!(u.switch_rate_bps < u.rate_bps, "default must induce trims");
     }
 
     /// Polls `cond` for up to 2 s (sink counters flush per batch).

@@ -341,7 +341,8 @@ impl ReliableReceiver {
     }
 }
 
-#[cfg(test)]
+// Socket tests are skipped under Miri (real sockets need real syscalls).
+#[cfg(all(test, not(miri)))]
 mod tests {
     use super::*;
     use crate::streamlined::StreamlinedUdpProxy;

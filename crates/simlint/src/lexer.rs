@@ -343,4 +343,147 @@ mod tests {
         let b = l.tokens.iter().find(|s| s.tok == Tok::Ident("b")).unwrap();
         assert_eq!(b.line, 3);
     }
+
+    // ---- adversarial inputs: constructs built to fool a lesser lexer ----
+
+    #[test]
+    fn raw_string_hash_guards_do_not_end_early() {
+        // `"#` inside an `r##"..."##` is content — only `"##` terminates.
+        let src = r###"let s = r##"alpha "# beta"##; let tail = 1;"###;
+        assert_eq!(idents(src), vec!["let", "s", "let", "tail"]);
+    }
+
+    #[test]
+    fn raw_byte_string_guards_work_too() {
+        let src = r###"let s = br##"alpha "# beta"##; let tail = 1;"###;
+        assert_eq!(idents(src), vec!["let", "s", "let", "tail"]);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_resume_code_after() {
+        let src = "/* a /* b /* c */ d */ e */ tail";
+        assert_eq!(idents(src), vec!["tail"]);
+        // An unbalanced opener swallows the rest of the file.
+        assert_eq!(idents("/* a /* b */ still_inside"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_content() {
+        // `//` inside a string must not start a comment (the rest of the
+        // line stays code), and must not register a directive comment.
+        let l = lex("let url = \"https://example\"; let after = 1;");
+        let names: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["let", "url", "let", "after"]);
+        assert!(l.comments.is_empty());
+    }
+
+    #[test]
+    fn block_comment_markers_inside_strings_are_content() {
+        let src = "let s = \"/* not a comment\"; let t = \"*/ nor this\"; tail";
+        assert_eq!(idents(src), vec!["let", "s", "let", "t", "tail"]);
+    }
+
+    #[test]
+    fn byte_strings_with_escaped_quotes_hide_content() {
+        let src = r#"let b = b"alpha \" beta"; let tail = 1;"#;
+        assert_eq!(idents(src), vec!["let", "b", "let", "tail"]);
+    }
+
+    #[test]
+    fn lifetime_names_still_lex_as_identifiers() {
+        // By design: `&'a` contributes `a` — rules never match bare
+        // single idents, and hiding lifetimes would cost a real parser.
+        assert_eq!(
+            idents("fn f<'lt>(x: &'lt u8) {}"),
+            vec!["fn", "f", "lt", "x", "lt", "u8"]
+        );
+    }
+
+    // ---- generative differential test -----------------------------------
+    //
+    // Hand-rolled splitmix64 (simlint is dependency-free, so no proptest):
+    // deterministic, seed fixed, failures print the offending source.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Builds random concatenations of ident-hiding constructs where the
+    /// expected visible-identifier sequence is known by construction (the
+    /// "reference strip"), and checks the lexer agrees on every one.
+    #[test]
+    fn generated_sources_match_reference_strip() {
+        const NAMES: [&str; 6] = ["alpha", "beta", "gamma", "delta", "eps", "zeta"];
+        let mut state = 0x5EED_CAFE_u64;
+        for round in 0..512 {
+            let mut src = String::new();
+            let mut expect: Vec<&str> = Vec::new();
+            let atoms = 1 + (splitmix64(&mut state) % 12) as usize;
+            for _ in 0..atoms {
+                let name = NAMES[(splitmix64(&mut state) % NAMES.len() as u64) as usize];
+                match splitmix64(&mut state) % 8 {
+                    0 => {
+                        // Visible identifier.
+                        src.push_str(name);
+                        src.push(' ');
+                        expect.push(name);
+                    }
+                    1 => {
+                        // Plain string hiding the name, a comment marker,
+                        // an escaped quote, and a stray single quote.
+                        src.push_str(&format!("\"{name} // \\\" ' hidden\" "));
+                    }
+                    2 => {
+                        // Raw string with 1–3 guard hashes; the content
+                        // embeds `"` + (hashes-1) `#`s — one short of the
+                        // terminator, so it must NOT end the literal.
+                        let h = 1 + (splitmix64(&mut state) % 3) as usize;
+                        let guard = "#".repeat(h);
+                        let inner = format!("\"{}", "#".repeat(h - 1));
+                        src.push_str(&format!("r{guard}\"{name} {inner} '{name}'\"{guard} "));
+                    }
+                    3 => {
+                        // Byte string with an escaped quote.
+                        src.push_str(&format!("b\"{name} \\\" x\" "));
+                    }
+                    4 => {
+                        // Nested block comment, depth 1–3.
+                        let d = 1 + (splitmix64(&mut state) % 3) as usize;
+                        src.push_str(&"/* ".repeat(d));
+                        src.push_str(name);
+                        src.push_str(&" */".repeat(d));
+                        src.push(' ');
+                    }
+                    5 => {
+                        // Line comment (hides the name, ends the line).
+                        src.push_str(&format!("// {name}\n"));
+                    }
+                    6 => {
+                        // Char literal containing a double quote must not
+                        // open a string and eat the following ident.
+                        src.push_str("'\"' ");
+                        src.push_str(name);
+                        src.push(' ');
+                        expect.push(name);
+                    }
+                    _ => {
+                        // Number with ident-like suffix plus punctuation.
+                        src.push_str("+ 0x1f_u64 { } ");
+                    }
+                }
+            }
+            let got = idents(&src);
+            assert_eq!(got, expect, "round {round} diverged on source: {src:?}");
+        }
+    }
 }

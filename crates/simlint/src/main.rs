@@ -1,18 +1,25 @@
-//! `simlint` — the workspace determinism linter.
+//! `simlint` — the workspace static-analysis linter.
 //!
 //! Walks every `.rs` file in the repository, applies the rules in
-//! [`rules`], and exits nonzero if any violation (or malformed/stale
-//! allow directive) is found. The surviving `simlint: allow` directives
-//! are printed as an inventory so every sanctioned exception — and its
-//! reason — shows up in CI output.
+//! [`rules`] scoped per crate by the [`registry`], and exits nonzero if
+//! any violation (or malformed/stale allow directive) is found. The
+//! surviving `simlint: allow` directives are printed as an inventory so
+//! every sanctioned exception — and its reason — shows up in CI output.
+//! Violations and the inventory are sorted by (file, line, rule) so
+//! output is byte-stable run to run and CI diffs stay readable.
 //!
 //! Usage: `cargo run -p simlint` from anywhere in the workspace, or
-//! `simlint [root]` with an explicit root directory.
+//! `simlint [--json] [root]` with an explicit root directory. `--json`
+//! emits the machine-readable findings object ([`output::json_report`])
+//! instead of the human format; the exit code is the same either way.
 
 mod lexer;
+mod output;
+mod registry;
 mod rules;
 
-use rules::{scan_source, AllowEntry, Violation};
+use registry::active_rules;
+use rules::{scan_source, AllowEntry, Rule, Violation};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -27,16 +34,17 @@ const SKIP_DIRS: [&str; 7] = [
     "node_modules",
 ];
 
-/// Workspace-relative prefixes exempt from the rules: the crates whose
-/// *job* is wall-clock I/O (the live proxy datapath and the trace/
-/// measurement tooling). Everything else is simulation path.
-const EXEMPT_PREFIXES: [&str; 2] = ["crates/netproxy/", "crates/trace/"];
-
 fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(arg) => PathBuf::from(arg),
-        None => workspace_root(),
-    };
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            json = true;
+        } else {
+            root = Some(PathBuf::from(arg));
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
 
     let mut files = Vec::new();
     collect_rs_files(&root, &mut files);
@@ -54,26 +62,40 @@ fn main() -> ExitCode {
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let exempt = EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p));
-        let report = scan_source(&rel, &src, exempt);
+        let report = scan_source(&rel, &src, &active_rules(&rel));
         violations.extend(report.violations);
         allows.extend(report.allows);
     }
 
-    for v in &violations {
-        println!("{v}");
-    }
+    // Deterministic output order: (file, line, rule), then column for
+    // multiple hits on one line.
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule.map(Rule::id), a.col).cmp(&(
+            &b.file,
+            b.line,
+            b.rule.map(Rule::id),
+            b.col,
+        ))
+    });
+    allows.sort_by(|a, b| (&a.file, a.line, a.rule.id()).cmp(&(&b.file, b.line, b.rule.id())));
 
-    println!(
-        "simlint: scanned {} files, {} violation(s), {} allow(s)",
-        files.len(),
-        violations.len(),
-        allows.len()
-    );
-    if !allows.is_empty() {
-        println!("simlint: allow inventory:");
-        for a in &allows {
-            println!("  {}:{}: allow({}) — {}", a.file, a.line, a.rule, a.reason);
+    if json {
+        print!("{}", output::json_report(files.len(), &violations, &allows));
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!(
+            "simlint: scanned {} files, {} violation(s), {} allow(s)",
+            files.len(),
+            violations.len(),
+            allows.len()
+        );
+        if !allows.is_empty() {
+            println!("simlint: allow inventory:");
+            for a in &allows {
+                println!("  {}:{}: allow({}) — {}", a.file, a.line, a.rule, a.reason);
+            }
         }
     }
 

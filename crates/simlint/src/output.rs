@@ -1,0 +1,141 @@
+//! Machine-readable findings: a hand-rolled JSON writer.
+//!
+//! simlint is intentionally dependency-free (it must build before
+//! anything else in bootstrap environments), so the JSON emitter is
+//! local: the schema is flat, the only interesting work is string
+//! escaping. Consumers are `scripts/check.sh` (asserts
+//! `violation_count` is zero) and CI log scrapers; both orderings are
+//! pre-sorted by the caller so diffs are stable run to run.
+
+use crate::rules::{AllowEntry, Rule, Violation};
+use std::fmt::Write;
+
+/// Escapes `s` for a JSON string literal (quotes, backslashes, control
+/// characters; everything else passes through as UTF-8).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full findings report as a JSON object.
+///
+/// Schema:
+///
+/// ```json
+/// {
+///   "files_scanned": 120,
+///   "violation_count": 0,
+///   "violations": [
+///     {"file": "...", "line": 3, "col": 5, "rule": "wall-clock", "message": "..."}
+///   ],
+///   "allows": [
+///     {"file": "...", "line": 7, "rule": "hash-collections", "reason": "..."}
+///   ]
+/// }
+/// ```
+///
+/// `rule` is `"allow-directive"` for malformed/stale-directive findings
+/// (they have no rule of their own). The caller sorts both lists by
+/// (file, line, rule) before rendering.
+pub fn json_report(
+    files_scanned: usize,
+    violations: &[Violation],
+    allows: &[AllowEntry],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(out, "  \"violation_count\": {},", violations.len());
+    out.push_str("  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let rule = v.rule.map_or("allow-directive", Rule::id);
+        let _ = write!(
+            out,
+            "{sep}    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\"}}",
+            escape(&v.file),
+            v.line,
+            v.col,
+            escape(rule),
+            escape(&v.message)
+        );
+    }
+    out.push_str(if violations.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"allows\": [");
+    for (i, a) in allows.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        let _ = write!(
+            out,
+            "{sep}    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"reason\": \"{}\"}}",
+            escape(&a.file),
+            a.line,
+            escape(a.rule.id()),
+            escape(&a.reason)
+        );
+    }
+    out.push_str(if allows.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_json_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain — text"), "plain — text");
+    }
+
+    #[test]
+    fn empty_report_is_wellformed() {
+        let json = json_report(7, &[], &[]);
+        assert!(json.contains("\"files_scanned\": 7"));
+        assert!(json.contains("\"violation_count\": 0"));
+        assert!(json.contains("\"violations\": []"));
+        assert!(json.contains("\"allows\": []"));
+    }
+
+    #[test]
+    fn entries_render_with_escaped_fields() {
+        let v = Violation {
+            file: "a.rs".into(),
+            line: 3,
+            col: 5,
+            rule: Some(Rule::WallClock),
+            message: "say \"no\"".into(),
+        };
+        let a = AllowEntry {
+            file: "b.rs".into(),
+            line: 9,
+            rule: Rule::AmbientRng,
+            reason: "seeded\treplay".into(),
+        };
+        let json = json_report(2, &[v], &[a]);
+        assert!(json.contains("\"rule\": \"wall-clock\""));
+        assert!(json.contains("say \\\"no\\\""));
+        assert!(json.contains("\"rule\": \"ambient-rng\""));
+        assert!(json.contains("seeded\\treplay"));
+        assert!(json.contains("\"violation_count\": 1"));
+    }
+}

@@ -1,7 +1,10 @@
-//! The determinism rules, the allow-directive grammar, and the per-file
-//! scan.
+//! The rule implementations, the allow-directive grammar, and the
+//! multi-pass per-file scan.
 //!
-//! Three rules, mirroring DESIGN.md's "Determinism rules":
+//! Six rules in two families (the registry in `registry.rs` scopes each
+//! to the crates it applies to):
+//!
+//! **Determinism** (DESIGN.md "Determinism rules", PR 4):
 //!
 //! * `hash-collections` — no hash-ordered collections as sim state. The
 //!   std hash map/set iterate in a per-process random order; one stray
@@ -14,7 +17,28 @@
 //!   `from_entropy`, `OsRng`, `getrandom`. Every random stream must be
 //!   derived from the run's seed.
 //!
-//! A violation is suppressed only by a scoped line comment
+//! **Unsafety & concurrency audit** (DESIGN.md §14, PR 9):
+//!
+//! * `unsafe-without-safety` — every `unsafe` keyword (block, fn, impl)
+//!   must carry a `// SAFETY:` comment: trailing on the same line, or
+//!   in the run of standalone comment lines directly above.
+//! * `unjustified-atomic-ordering` — every `Ordering::{Relaxed,
+//!   Acquire, Release, AcqRel, SeqCst}` use must carry an
+//!   `// ordering:` comment. One comment covers a contiguous block: the
+//!   justification walk from a use climbs through comment lines, other
+//!   ordering-use lines, and statement-continuation lines (lines whose
+//!   last token is not `;`/`{`/`}`), so one comment can head a flush of
+//!   eight counters or a multi-line builder chain.
+//! * `ffi-unchecked-return` — a call to a declared `extern "C"`
+//!   function must not discard its result: bare statement position
+//!   (including the `unsafe { call(...) };` wrapper) and `let _ =` are
+//!   violations. libc reports failure in-band; a dropped return value
+//!   is a swallowed error.
+//!
+//! The scan is multi-pass: pass 1 lexes and builds per-line facts plus
+//! the file's `extern "C"` function inventory; pass 2 runs each active
+//! rule over the token stream against those facts. A violation is
+//! suppressed only by a scoped line comment
 //!
 //! ```text
 //! // simlint: allow(wall-clock) — measures real datapath latency
@@ -26,11 +50,11 @@
 //! unused directive is itself an error — stale suppressions don't
 //! accumulate.
 
-use crate::lexer::{lex, Tok};
+use crate::lexer::{lex, Spanned, Tok};
 use std::fmt;
 
 /// The enforced rule set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Hash-ordered collections as sim state.
     HashCollections,
@@ -38,11 +62,24 @@ pub enum Rule {
     WallClock,
     /// Ambient (non-seeded) randomness.
     AmbientRng,
+    /// `unsafe` without a `// SAFETY:` justification.
+    UnsafeWithoutSafety,
+    /// Atomic `Ordering` use without an `// ordering:` justification.
+    UnjustifiedAtomicOrdering,
+    /// Discarded result of an `extern "C"` call.
+    FfiUncheckedReturn,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 3] = [Rule::HashCollections, Rule::WallClock, Rule::AmbientRng];
+    pub const ALL: [Rule; 6] = [
+        Rule::HashCollections,
+        Rule::WallClock,
+        Rule::AmbientRng,
+        Rule::UnsafeWithoutSafety,
+        Rule::UnjustifiedAtomicOrdering,
+        Rule::FfiUncheckedReturn,
+    ];
 
     /// The id used in `allow(...)` directives and diagnostics.
     pub fn id(self) -> &'static str {
@@ -50,6 +87,9 @@ impl Rule {
             Rule::HashCollections => "hash-collections",
             Rule::WallClock => "wall-clock",
             Rule::AmbientRng => "ambient-rng",
+            Rule::UnsafeWithoutSafety => "unsafe-without-safety",
+            Rule::UnjustifiedAtomicOrdering => "unjustified-atomic-ordering",
+            Rule::FfiUncheckedReturn => "ffi-unchecked-return",
         }
     }
 
@@ -70,6 +110,18 @@ impl Rule {
             Rule::AmbientRng => {
                 "derive randomness from the run seed (trace::SplitMix64 or a seeded SmallRng), \
                  never from the environment"
+            }
+            Rule::UnsafeWithoutSafety => {
+                "every unsafe block/fn/impl must state its invariant in a `// SAFETY:` comment \
+                 directly above (or trailing on the same line)"
+            }
+            Rule::UnjustifiedAtomicOrdering => {
+                "every atomic Ordering choice must be justified by an `// ordering:` comment \
+                 covering it (same line, directly above, or heading its contiguous block)"
+            }
+            Rule::FfiUncheckedReturn => {
+                "libc reports failure in-band; bind the result and check it (or allow with a \
+                 reason why the error is unactionable)"
             }
         }
     }
@@ -97,6 +149,11 @@ const CLOCK_IDENTS: [&str; 2] = ["SystemTime", "UNIX_EPOCH"];
 
 /// Identifiers flagged by `ambient-rng` wherever they appear in code.
 const RNG_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// The atomic orderings `unjustified-atomic-ordering` watches (the
+/// `std::cmp::Ordering` variants are not in this list, so comparison
+/// code never trips it).
+const ORDERING_VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 /// A rule violation (or a broken/unused allow directive).
 #[derive(Debug, Clone)]
@@ -188,18 +245,159 @@ fn parse_directive(text: &str) -> Option<Result<(Rule, String), String>> {
     Some(Ok((rule, reason.to_string())))
 }
 
-/// Scans one file's source against the full rule set.
-///
-/// `exempt` marks the explicitly wall-clock crates (`netproxy`, `trace`),
-/// which the rules skip entirely.
-pub fn scan_source(file: &str, src: &str, exempt: bool) -> FileReport {
-    let mut report = FileReport::default();
-    if exempt {
-        return report;
-    }
-    let lexed = lex(src);
+/// Per-line facts built in pass 1, consumed by the justification walks.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineFact<'a> {
+    /// Text of the `//` comment on this line, if any (untrimmed).
+    comment: Option<&'a str>,
+    /// Any code token on this line.
+    has_code: bool,
+    /// A flagged `Ordering::<variant>` use on this line.
+    has_ordering_use: bool,
+    /// The line's last code token is `;`, `{` or `}` (a statement
+    /// boundary — the continuation walk stops here).
+    ends_stmt: bool,
+}
 
-    // Collect directives first, so a hit can look up its suppressor.
+/// Everything pass 2 rules need about one file: the token stream, the
+/// per-line fact index, and the `extern "C"` function inventory.
+struct FileCtx<'a> {
+    toks: &'a [Spanned<'a>],
+    lines: Vec<LineFact<'a>>,
+    extern_fns: Vec<&'a str>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn fact(&self, line: u32) -> LineFact<'a> {
+        self.lines.get(line as usize).copied().unwrap_or_default()
+    }
+
+    /// Does a comment whose text starts with `tag` cover `line`?
+    ///
+    /// Coverage: a comment on the line itself (trailing form), or a
+    /// standalone comment reached by walking upward. The walk always
+    /// climbs through standalone comment lines; with `through_code` it
+    /// additionally climbs through lines that themselves carry a
+    /// flagged ordering use and through statement continuations (lines
+    /// whose last token is not `;`/`{`/`}`), so one comment can head a
+    /// contiguous block. A *trailing* comment on some other code line
+    /// covers only that line — it never justifies lines below it.
+    fn tagged_comment_covers(&self, line: u32, tag: &str, through_code: bool) -> bool {
+        let starts = |f: LineFact<'_>| f.comment.is_some_and(|c| c.trim_start().starts_with(tag));
+        if starts(self.fact(line)) {
+            return true;
+        }
+        let mut p = line.saturating_sub(1);
+        while p >= 1 {
+            let f = self.fact(p);
+            let comment_only = f.comment.is_some() && !f.has_code;
+            if comment_only && starts(f) {
+                return true;
+            }
+            let chains = comment_only
+                || (through_code && f.has_ordering_use)
+                || (through_code && f.has_code && !f.ends_stmt);
+            if !chains {
+                return false;
+            }
+            p -= 1;
+        }
+        false
+    }
+}
+
+/// Pass 1: lex, build the line-fact index and the extern-fn inventory.
+fn build_ctx<'a>(
+    toks: &'a [Spanned<'a>],
+    comments: &[crate::lexer::LineComment<'a>],
+) -> FileCtx<'a> {
+    let max_line = toks
+        .iter()
+        .map(|t| t.line)
+        .chain(comments.iter().map(|c| c.line))
+        .max()
+        .unwrap_or(0) as usize;
+    let mut lines: Vec<LineFact<'a>> = vec![LineFact::default(); max_line + 1];
+    for c in comments {
+        lines[c.line as usize].comment = Some(c.text);
+    }
+    for t in toks {
+        let f = &mut lines[t.line as usize];
+        f.has_code = true;
+        // Tokens arrive in source order, so the last writer wins.
+        f.ends_stmt = matches!(t.tok, Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}'));
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.tok == Tok::Ident("Ordering") && ordering_variant(toks, i).is_some() {
+            lines[t.line as usize].has_ordering_use = true;
+        }
+    }
+    FileCtx {
+        toks,
+        lines,
+        extern_fns: collect_extern_fns(toks),
+    }
+}
+
+/// The names declared inside `extern "C" { ... }` blocks. (The lexer
+/// drops the `"C"` string literal, so the block opens right after the
+/// `extern` keyword.)
+fn collect_extern_fns<'a>(toks: &'a [Spanned<'a>]) -> Vec<&'a str> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].tok == Tok::Ident("extern")
+            && toks.get(i + 1).is_some_and(|t| t.tok == Tok::Punct('{'))
+        {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < toks.len() && depth > 0 {
+                match toks[j].tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => depth -= 1,
+                    Tok::Ident("fn") => {
+                        if let Some(Spanned {
+                            tok: Tok::Ident(name),
+                            ..
+                        }) = toks.get(j + 1)
+                        {
+                            fns.push(*name);
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    fns
+}
+
+/// `toks[i]` is `Ordering`; returns the flagged variant that follows
+/// (`Ordering::Relaxed` etc.), if any.
+fn ordering_variant<'a>(toks: &[Spanned<'a>], i: usize) -> Option<&'a str> {
+    match (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3)) {
+        (Some(a), Some(b), Some(c)) if a.tok == Tok::Punct(':') && b.tok == Tok::Punct(':') => {
+            match c.tok {
+                Tok::Ident(v) if ORDERING_VARIANTS.contains(&v) => Some(v),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Scans one file's source against `active` (the registry-scoped rule
+/// set for its crate — see `registry::active_rules`).
+pub fn scan_source(file: &str, src: &str, active: &[Rule]) -> FileReport {
+    let mut report = FileReport::default();
+    let lexed = lex(src);
+    let ctx = build_ctx(&lexed.tokens, &lexed.comments);
+
+    // Directives first, so a hit can look up its suppressor.
     let mut directives: Vec<Directive> = Vec::new();
     for comment in &lexed.comments {
         match parse_directive(comment.text) {
@@ -234,48 +432,117 @@ pub fn scan_source(file: &str, src: &str, exempt: bool) -> FileReport {
         }
     }
 
-    let mut flag = |rule: Rule, line: u32, col: u32, what: &str, directives: &mut [Directive]| {
-        if let Some(d) = directives
-            .iter_mut()
-            .find(|d| d.rule == rule && d.target_line == line)
-        {
-            d.used = true;
-            return;
-        }
-        report.violations.push(Violation {
-            file: file.to_string(),
-            line,
-            col,
-            rule: Some(rule),
-            message: format!("`{what}`: {}", rule.advice()),
-        });
-    };
+    let mut flag =
+        |rule: Rule, line: u32, col: u32, message: String, directives: &mut [Directive]| {
+            if let Some(d) = directives
+                .iter_mut()
+                .find(|d| d.rule == rule && d.target_line == line)
+            {
+                d.used = true;
+                return;
+            }
+            report.violations.push(Violation {
+                file: file.to_string(),
+                line,
+                col,
+                rule: Some(rule),
+                message,
+            });
+        };
+    let on = |rule: Rule| active.contains(&rule);
 
-    let toks = &lexed.tokens;
+    // Pass 2a: determinism rules (ident patterns).
+    let toks = ctx.toks;
     for (i, t) in toks.iter().enumerate() {
         let Tok::Ident(name) = t.tok else { continue };
-        if HASH_IDENTS.contains(&name) {
-            flag(Rule::HashCollections, t.line, t.col, name, &mut directives);
-        } else if CLOCK_IDENTS.contains(&name) {
-            flag(Rule::WallClock, t.line, t.col, name, &mut directives);
-        } else if RNG_IDENTS.contains(&name) {
-            flag(Rule::AmbientRng, t.line, t.col, name, &mut directives);
-        } else if name == "Instant" && followed_by(toks, i, "now") {
+        let hit = if on(Rule::HashCollections) && HASH_IDENTS.contains(&name) {
+            Some((Rule::HashCollections, name))
+        } else if on(Rule::WallClock) && CLOCK_IDENTS.contains(&name) {
+            Some((Rule::WallClock, name))
+        } else if on(Rule::AmbientRng) && RNG_IDENTS.contains(&name) {
+            Some((Rule::AmbientRng, name))
+        } else if on(Rule::WallClock) && name == "Instant" && followed_by(toks, i, "now") {
+            Some((Rule::WallClock, "Instant::now"))
+        } else if on(Rule::AmbientRng) && name == "rand" && followed_by(toks, i, "random") {
+            Some((Rule::AmbientRng, "rand::random"))
+        } else {
+            None
+        };
+        if let Some((rule, what)) = hit {
+            let message = format!("`{what}`: {}", rule.advice());
+            flag(rule, t.line, t.col, message, &mut directives);
+        }
+    }
+
+    // Pass 2b: unsafe-without-safety (keyword + SAFETY-comment walk).
+    if on(Rule::UnsafeWithoutSafety) {
+        for t in toks {
+            if t.tok != Tok::Ident("unsafe") {
+                continue;
+            }
+            if ctx.tagged_comment_covers(t.line, "SAFETY:", false) {
+                continue;
+            }
+            let message = format!("`unsafe`: {}", Rule::UnsafeWithoutSafety.advice());
             flag(
-                Rule::WallClock,
+                Rule::UnsafeWithoutSafety,
                 t.line,
                 t.col,
-                "Instant::now",
+                message,
                 &mut directives,
             );
-        } else if name == "rand" && followed_by(toks, i, "random") {
+        }
+    }
+
+    // Pass 2c: unjustified-atomic-ordering (path pattern + block walk).
+    if on(Rule::UnjustifiedAtomicOrdering) {
+        for (i, t) in toks.iter().enumerate() {
+            if t.tok != Tok::Ident("Ordering") {
+                continue;
+            }
+            let Some(variant) = ordering_variant(toks, i) else {
+                continue;
+            };
+            if ctx.tagged_comment_covers(t.line, "ordering:", true) {
+                continue;
+            }
+            let message = format!(
+                "`Ordering::{variant}`: {}",
+                Rule::UnjustifiedAtomicOrdering.advice()
+            );
             flag(
-                Rule::AmbientRng,
+                Rule::UnjustifiedAtomicOrdering,
                 t.line,
                 t.col,
-                "rand::random",
+                message,
                 &mut directives,
             );
+        }
+    }
+
+    // Pass 2d: ffi-unchecked-return (extern-fn inventory + use/discard
+    // classification).
+    if on(Rule::FfiUncheckedReturn) && !ctx.extern_fns.is_empty() {
+        for (i, t) in toks.iter().enumerate() {
+            let Tok::Ident(name) = t.tok else { continue };
+            if !ctx.extern_fns.contains(&name)
+                || !toks.get(i + 1).is_some_and(|n| n.tok == Tok::Punct('('))
+                || toks
+                    .get(i.wrapping_sub(1))
+                    .is_some_and(|p| p.tok == Tok::Ident("fn"))
+            {
+                continue;
+            }
+            if call_result_discarded(toks, i) {
+                let message = format!("`{name}(...)`: {}", Rule::FfiUncheckedReturn.advice());
+                flag(
+                    Rule::FfiUncheckedReturn,
+                    t.line,
+                    t.col,
+                    message,
+                    &mut directives,
+                );
+            }
         }
     }
 
@@ -304,8 +571,69 @@ pub fn scan_source(file: &str, src: &str, exempt: bool) -> FileReport {
     report
 }
 
+/// Is the extern call at `toks[i]` (the callee ident) in a
+/// result-discarding position?
+///
+/// Discarded means *both*:
+/// * backward: statement position (`;`/`{`/`}` before it, optionally
+///   through an `unsafe {` wrapper, or start of file) or an explicit
+///   `let _ =`, and
+/// * forward: the statement ends right after the call — `;` follows the
+///   matching close paren (through the wrapper's `}` if present).
+///
+/// Anything else (`let rc = ...`, an `if`/`match` scrutinee, a nested
+/// argument, a tail expression feeding a return value) uses the result.
+fn call_result_discarded(toks: &[Spanned<'_>], i: usize) -> bool {
+    // Backward: skip the `unsafe {` wrapper if present.
+    let wrapped =
+        i >= 2 && toks[i - 1].tok == Tok::Punct('{') && toks[i - 2].tok == Tok::Ident("unsafe");
+    let pred_idx = if wrapped {
+        i.checked_sub(3)
+    } else {
+        i.checked_sub(1)
+    };
+    let backward_discard = match pred_idx {
+        None => true, // call starts the file: statement position
+        Some(p) => match toks[p].tok {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => true,
+            Tok::Punct('=') => {
+                // `let _ = [unsafe {] call(...)`: explicit discard.
+                p >= 2 && toks[p - 1].tok == Tok::Ident("_") && toks[p - 2].tok == Tok::Ident("let")
+            }
+            _ => false,
+        },
+    };
+    if !backward_discard {
+        return false;
+    }
+    // Forward: find the call's matching close paren.
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let mut after = j + 1;
+    if wrapped && toks.get(after).is_some_and(|t| t.tok == Tok::Punct('}')) {
+        after += 1;
+    }
+    match toks.get(after) {
+        None => true,
+        Some(t) => t.tok == Tok::Punct(';'),
+    }
+}
+
 /// True when `toks[i]` is followed by `::` and then the identifier `next`.
-fn followed_by(toks: &[crate::lexer::Spanned<'_>], i: usize, next: &str) -> bool {
+fn followed_by(toks: &[Spanned<'_>], i: usize, next: &str) -> bool {
     matches!(
         (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3)),
         (
@@ -322,9 +650,9 @@ fn followed_by(toks: &[crate::lexer::Spanned<'_>], i: usize, next: &str) -> bool
 mod tests {
     use super::*;
 
-    /// The embedded fixture: every rule with a hit, a miss, and a
-    /// suppressed hit, plus directive error cases.
-    const FIXTURE: &str = r####"
+    /// The embedded determinism fixture: every rule with a hit, a miss,
+    /// and a suppressed hit, plus directive error cases.
+    pub(crate) const FIXTURE: &str = r####"
 use std::collections::HashMap;                       // hit: hash-collections
 use std::collections::BTreeMap;                      // miss: deterministic
 struct S {
@@ -357,22 +685,68 @@ fn hidden() {
 }
 "####;
 
+    /// The audit fixture: the three PR 9 rules, hit/miss/suppressed.
+    pub(crate) const AUDIT_FIXTURE: &str = r####"
+extern "C" {
+    fn close(fd: i32) -> i32;
+    fn socket(domain: i32, ty: i32, proto: i32) -> i32;
+}
+fn unsafety() {
+    let a = unsafe { danger() };                     // hit: no SAFETY
+    // SAFETY: the invariant is stated right here.
+    let b = unsafe { danger() };                     // miss: covered above
+    // SAFETY: a multi-line justification —
+    // continued on a second comment line.
+    let c = unsafe { danger() };                     // miss: covered above
+    let d = unsafe { danger() }; // SAFETY: trailing form
+    // simlint: allow(unsafe-without-safety) — fixture exercises the allow path
+    let e = unsafe { danger() };
+}
+fn orderings(x: &AtomicU64, stop: &AtomicBool) {
+    let a = x.load(Ordering::Relaxed);               // hit: no comment
+    // ordering: Relaxed — counter, no data published through it.
+    let b = x.load(Ordering::Relaxed);               // miss: covered
+    // ordering: Relaxed — one comment heads the whole flush block.
+    x.fetch_add(1, Ordering::Relaxed);
+    x.fetch_add(2, Ordering::Relaxed);               // miss: chains up
+    x
+        .fetch_add(3, Ordering::Relaxed);            // miss: continuation
+    let c = cmp(a, b) == Ordering::Less;             // miss: cmp::Ordering
+    stop.store(true, Ordering::Release); // ordering: Release — trailing form
+    // simlint: allow(unjustified-atomic-ordering) — fixture allow path
+    stop.store(false, Ordering::Release);
+}
+fn ffi() {
+    unsafe { close(3) };                             // SAFETY: fixture (hit: discarded)
+    let _ = unsafe { close(3) };                     // SAFETY: fixture (hit: explicit discard)
+    let rc = unsafe { close(3) };                    // SAFETY: fixture (miss: bound)
+    if unsafe { close(3) } < 0 {}                    // SAFETY: fixture (miss: checked)
+    take(unsafe { socket(1, 2, 3) });                // SAFETY: fixture (miss: argument)
+    close_like(3);                                   // miss: not extern
+    // simlint: allow(ffi-unchecked-return) — error unactionable in fixture
+    unsafe { close(4) }; // SAFETY: fixture
+}
+"####;
+
     fn scan(src: &str) -> FileReport {
-        scan_source("fixture.rs", src, false)
+        scan_source("fixture.rs", src, &Rule::ALL)
     }
 
-    #[test]
-    fn fixture_hits_every_rule_and_respects_suppressions() {
-        let report = scan(FIXTURE);
-        let rules: Vec<&str> = report
+    fn hit_ids(report: &FileReport) -> Vec<&'static str> {
+        report
             .violations
             .iter()
             .map(|v| v.rule.map_or("allow-directive", Rule::id))
-            .collect();
+            .collect()
+    }
+
+    #[test]
+    fn fixture_hits_every_determinism_rule_and_respects_suppressions() {
+        let report = scan(FIXTURE);
         // Unsuppressed hits only: HashMap use, HashSet field, Instant::now,
         // SystemTime, thread_rng, rand::random.
         assert_eq!(
-            rules,
+            hit_ids(&report),
             vec![
                 "hash-collections",
                 "hash-collections",
@@ -394,6 +768,31 @@ fn hidden() {
     }
 
     #[test]
+    fn audit_fixture_hits_each_new_rule_exactly_where_expected() {
+        let report = scan(AUDIT_FIXTURE);
+        assert_eq!(
+            hit_ids(&report),
+            vec![
+                "unsafe-without-safety",
+                "unjustified-atomic-ordering",
+                "ffi-unchecked-return",
+                "ffi-unchecked-return"
+            ],
+            "{:#?}",
+            report.violations
+        );
+        let allowed: Vec<&str> = report.allows.iter().map(|a| a.rule.id()).collect();
+        assert_eq!(
+            allowed,
+            vec![
+                "unsafe-without-safety",
+                "unjustified-atomic-ordering",
+                "ffi-unchecked-return"
+            ]
+        );
+    }
+
+    #[test]
     fn fixture_line_numbers_point_at_the_hit() {
         let report = scan(FIXTURE);
         let first = &report.violations[0];
@@ -405,6 +804,61 @@ fn hidden() {
     fn string_and_comment_identifiers_never_flag() {
         let report =
             scan("fn f() {\n  let a = \"HashMap\";\n  // SystemTime\n  /* thread_rng */\n}\n");
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_never_flags() {
+        let report = scan("fn f() {\n  let a = \"unsafe { }\";\n  // unsafe in prose\n}\n");
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn safety_comment_must_be_adjacent() {
+        // A blank line between the SAFETY comment and the unsafe block
+        // breaks coverage: the walk only climbs contiguous comments.
+        let report = scan("// SAFETY: too far away\n\nfn f() {\n  unsafe { g() };\n}\n");
+        assert_eq!(hit_ids(&report), vec!["unsafe-without-safety"]);
+    }
+
+    #[test]
+    fn ordering_comment_does_not_leak_past_statement_boundary() {
+        // The covered statement ends (`;`); an uncommented use after a
+        // non-ordering statement must flag.
+        let report = scan(
+            "fn f(x: &AtomicU64) {\n// ordering: Relaxed — one counter\nx.fetch_add(1, \
+             Ordering::Relaxed);\nreset();\nx.fetch_add(2, Ordering::Relaxed);\n}\n",
+        );
+        assert_eq!(hit_ids(&report), vec!["unjustified-atomic-ordering"]);
+        assert_eq!(report.violations[0].line, 5);
+    }
+
+    #[test]
+    fn ordering_import_of_a_variant_is_flagged_too() {
+        // `use ...Ordering::SeqCst` smuggles a bare variant into scope;
+        // the import site itself must carry the justification.
+        let report = scan("use std::sync::atomic::Ordering::SeqCst;\n");
+        assert_eq!(hit_ids(&report), vec!["unjustified-atomic-ordering"]);
+        let ok = scan("// ordering: SeqCst — model checker runs everything SC.\nuse std::sync::atomic::Ordering::SeqCst;\n");
+        assert!(ok.violations.is_empty(), "{:#?}", ok.violations);
+    }
+
+    #[test]
+    fn ffi_declaration_itself_never_flags() {
+        let report = scan("extern \"C\" {\n    fn close(fd: i32) -> i32;\n}\n");
+        assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn ffi_nested_call_arguments_count_as_used() {
+        // Scanned with only the FFI rule active so the bare `unsafe`
+        // (deliberately uncommented) doesn't muddy the assertion.
+        let report = scan_source(
+            "fixture.rs",
+            "extern \"C\" {\n    fn socket(d: i32) -> i32;\n}\nfn f() {\n    let s = \
+             wrap(unsafe { socket(pick(1)) });\n}\n",
+            &[Rule::FfiUncheckedReturn],
+        );
         assert!(report.violations.is_empty(), "{:#?}", report.violations);
     }
 
@@ -455,8 +909,14 @@ fn hidden() {
     }
 
     #[test]
-    fn exempt_files_are_skipped() {
-        let report = scan_source("netproxy.rs", "let t = Instant::now();", true);
+    fn inactive_rules_do_not_run() {
+        // The old whole-file exemption, reborn as per-rule scoping: a
+        // wall-clock hit with only the hash rule active is clean.
+        let report = scan_source(
+            "netproxy.rs",
+            "let t = Instant::now();",
+            &[Rule::HashCollections],
+        );
         assert!(report.violations.is_empty());
     }
 

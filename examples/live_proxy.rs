@@ -77,6 +77,7 @@ async fn main() {
         "naive proxy relayed {} over TCP ({} connections); sink saw {}",
         trace::table::fmt_bytes(tcp_stats.sent_bytes),
         naive.connections(),
+        // ordering: Relaxed — end-of-run snapshot of a monotone byte counter.
         trace::table::fmt_bytes(sunk_bytes.load(std::sync::atomic::Ordering::Relaxed)),
     );
     println!(
@@ -86,6 +87,7 @@ async fn main() {
         streamlined
             .stats()
             .nacks
+            // ordering: Relaxed — end-of-run snapshot of a monotone counter.
             .load(std::sync::atomic::Ordering::Relaxed),
     );
     println!();

@@ -20,7 +20,15 @@ cargo fmt --all -- --check
 echo "== cargo clippy --all-targets -D warnings"
 cargo clippy --workspace --all-targets "${OFFLINE[@]}" -- -D warnings
 
-echo "== simlint (determinism rules: no hash-ordered state, no wall clock, no ambient rng)"
+echo "== simlint (determinism + unsafety/ordering/FFI audit rules, machine-readable)"
+SIMLINT_JSON="$(cargo run "${OFFLINE[@]}" -q -p simlint -- --json)"
+if ! grep -q '"violation_count": 0' <<<"$SIMLINT_JSON"; then
+  echo "$SIMLINT_JSON"
+  echo "simlint: violations found (human-readable rerun follows)" >&2
+  cargo run "${OFFLINE[@]}" -q -p simlint || true
+  exit 1
+fi
+# The allow inventory stays visible in CI logs even on success.
 cargo run "${OFFLINE[@]}" -q -p simlint
 
 echo "== cargo bench --no-run (bench code compiles)"
@@ -34,6 +42,9 @@ cargo test "${OFFLINE[@]}" --test timer_identity -q
 
 echo "== cargo test"
 cargo test --workspace "${OFFLINE[@]}" -q
+
+echo "== loom (bounded-exhaustive interleaving models of the lock-free shard datapath)"
+RUSTFLAGS="--cfg loom" cargo test "${OFFLINE[@]}" -p netproxy --test loom -q
 
 echo "== netproxy loadgen smoke (every variant x every socket layer, zero unexplained loss)"
 cargo run --release "${OFFLINE[@]}" -q -p bench --bin netproxy_load -- --smoke

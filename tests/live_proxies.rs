@@ -27,6 +27,7 @@ async fn naive_proxy_is_byte_transparent_under_load() {
     // Allow the relay to drain.
     tokio::time::sleep(Duration::from_millis(300)).await;
     assert_eq!(
+        // ordering: Relaxed — test readback; the sleep above is the sync.
         counter.load(Ordering::Relaxed),
         stats.sent_bytes,
         "every byte must arrive exactly once"
@@ -119,6 +120,7 @@ async fn streamlined_nack_loop_closes_end_to_end() {
         nack_seqs.len()
     );
     assert_eq!(
+        // ordering: Relaxed — test readback after the NACKs were observed.
         proxy.stats().nacks.load(Ordering::Relaxed),
         stats.trimmed_packets,
         "proxy NACKs exactly the trimmed headers"
