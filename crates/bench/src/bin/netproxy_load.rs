@@ -275,6 +275,29 @@ fn parse_args() -> Cli {
     cli
 }
 
+/// Retries `op` with bounded backoff while it fails with `AddrInUse`.
+///
+/// The smoke mode starts dozens of reuseport groups back to back; on
+/// some kernels a just-closed group's port lingers briefly and an
+/// unlucky ephemeral-port reuse fails with EADDRINUSE. That's a startup
+/// race, not a datapath bug, so it gets a handful of spaced retries
+/// before it is allowed to kill the run.
+fn retry_addr_in_use<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    const ATTEMPTS: u32 = 5;
+    let mut backoff = Duration::from_millis(10);
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && attempt + 1 < ATTEMPTS => {
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff *= 2; // 10/20/40/80 ms, then give up
+            }
+            other => return other,
+        }
+    }
+}
+
 /// Outcome of one measured run, flattened for reporting.
 struct RunResult {
     sent: u64,
@@ -299,19 +322,23 @@ struct RunResult {
 fn run_once(cli: Cli) -> RunResult {
     // simlint: allow(wall-clock) — a throughput benchmark measures real elapsed time
     let epoch = Instant::now();
-    let sink = BatchSink::start(cli.sink_threads, cli.layer, epoch).expect("sink");
-    let single = (cli.variant == Variant::Single)
-        .then(|| SingleDatagramRelay::start(sink.local_addr()).expect("single relay"));
+    let sink =
+        retry_addr_in_use(|| BatchSink::start(cli.sink_threads, cli.layer, epoch)).expect("sink");
+    let single = (cli.variant == Variant::Single).then(|| {
+        retry_addr_in_use(|| SingleDatagramRelay::start(sink.local_addr())).expect("single relay")
+    });
     let relay = cli.variant.relay_kind().map(|kind| {
-        ShardedRelay::start(
-            SocketAddr::from(([127, 0, 0, 1], 0)),
-            RelayConfig {
-                kind,
-                shards: cli.shards,
-                layer: cli.layer,
-                ..RelayConfig::streamlined(sink.local_addr())
-            },
-        )
+        retry_addr_in_use(|| {
+            ShardedRelay::start(
+                SocketAddr::from(([127, 0, 0, 1], 0)),
+                RelayConfig {
+                    kind,
+                    shards: cli.shards,
+                    layer: cli.layer,
+                    ..RelayConfig::streamlined(sink.local_addr())
+                },
+            )
+        })
         .expect("relay")
     });
     let target = single
@@ -327,6 +354,7 @@ fn run_once(cli: Cli) -> RunResult {
         trim_fraction: cli.trim,
         payload_len: cli.payload,
         layer: cli.layer,
+        drain_grace: Duration::from_millis(10),
     };
     let report = gen.run(target, epoch).expect("loadgen run");
 
@@ -393,7 +421,7 @@ fn print_result(cli: Cli, r: &RunResult) {
     let relay = r.relay.unwrap_or_default();
     if cli.json {
         println!(
-            "{{\"suite\":\"netproxy\",\"variant\":\"{}\",\"layer\":\"{}\",\"threads\":{},\"flows\":{},\"shards\":{},\"sink_threads\":{},\"rate_pps\":{},\"duration_ms\":{},\"trim\":{},\"payload\":{},\"sent\":{},\"delivered\":{},\"trimmed_sent\":{},\"nacks_received\":{},\"gen_send_errors\":{},\"achieved_pps\":{:.0},\"sink_received\":{},\"sink_trimmed\":{},\"sink_malformed\":{},\"p50_us\":{:.2},\"p99_us\":{:.2},\"p999_us\":{:.2},\"relay_forwarded\":{},\"relay_nacks\":{},\"relay_reversed\":{},\"relay_dropped\":{},\"relay_send_errors\":{},\"relay_batches\":{},\"relay_max_batch\":{}}}",
+            "{{\"suite\":\"netproxy\",\"variant\":\"{}\",\"layer\":\"{}\",\"threads\":{},\"flows\":{},\"shards\":{},\"sink_threads\":{},\"rate_pps\":{},\"duration_ms\":{},\"trim\":{},\"payload\":{},\"sent\":{},\"delivered\":{},\"trimmed_sent\":{},\"nacks_received\":{},\"gen_send_errors\":{},\"achieved_pps\":{:.0},\"sink_received\":{},\"sink_trimmed\":{},\"sink_malformed\":{},\"p50_us\":{:.2},\"p99_us\":{:.2},\"p999_us\":{:.2},\"relay_forwarded\":{},\"relay_nacks\":{},\"relay_reversed\":{},\"relay_dropped\":{},\"relay_send_errors\":{},\"relay_batches\":{},\"relay_max_batch\":{},\"relay_shed_nacked\":{},\"relay_shed_dropped\":{},\"relay_nacks_coalesced\":{},\"relay_io_retries\":{}}}",
             cli.variant.name(),
             r.layer,
             cli.threads,
@@ -423,6 +451,10 @@ fn print_result(cli: Cli, r: &RunResult) {
             relay.send_errors,
             relay.batches,
             relay.max_batch,
+            relay.shed_nacked,
+            relay.shed_dropped,
+            relay.nacks_coalesced,
+            relay.io_retries,
         );
     } else {
         println!(
@@ -459,13 +491,23 @@ fn account(cli: Cli, r: &RunResult) -> Result<(), String> {
         Variant::Direct => r.sink_received + r.sink_trimmed,
         // Streamlined (batched or single-datagram baseline): data
         // forwarded, trims converted to NACKs, plus relay-level
-        // drops/errors.
+        // drops/errors — and, when the shed ladder is armed, datagrams
+        // it coalesced or dropped (counted, never silent).
         Variant::Streamlined | Variant::Single => {
-            r.sink_received + relay.nacks + relay.dropped + relay.send_errors
+            r.sink_received
+                + relay.nacks
+                + relay.dropped
+                + relay.send_errors
+                + relay.nacks_coalesced
+                + relay.shed_dropped
         }
         // Naive and Detecting forward everything, trimmed included.
         Variant::Naive | Variant::Detecting => {
-            r.sink_received + r.sink_trimmed + relay.dropped + relay.send_errors
+            r.sink_received
+                + r.sink_trimmed
+                + relay.dropped
+                + relay.send_errors
+                + relay.shed_dropped
         }
     };
     if explained != r.delivered {

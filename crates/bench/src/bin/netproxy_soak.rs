@@ -1,0 +1,538 @@
+//! Chaos soak for the netproxy datapath: loadgen × fault-injected
+//! sharded relay for N seconds, with a mid-run shard crash (and
+//! optionally a wedge), judged by a strict packet-accounting ledger —
+//! **zero unexplained loss**. Every datagram the generator delivered
+//! must be explained by a sink arrival, a NACK, a counted relay-side
+//! decision (drop / shed / coalesce), a counted fault event (drop /
+//! blackhole / pending delay / corruption), a counted send error, or
+//! the bounded crash-loss budget.
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin netproxy_soak -- --duration-s 60 --json
+//! ```
+//!
+//! Flags:
+//!   --duration-s N    soak length in seconds (default 10)
+//!   --seed N          fault-plan base seed (default 1)
+//!   --layer L         auto | mmsg | fallback (default auto)
+//!   --shards N        relay shards (default 2)
+//!   --threads N       loadgen worker threads (default 2)
+//!   --flows N         flows per worker thread (default 64)
+//!   --rate N          aggregate pkts/sec (default 40000)
+//!   --trim F          trimmed-header fraction (default 0.15)
+//!   --payload N       payload bytes per data datagram (default 64)
+//!   --no-faults       run the clean datapath (no fault shim)
+//!   --no-crash        skip the mid-run shard crash
+//!   --wedge           additionally wedge a shard at 60% of the run
+//!   --overload-pps N  per-shard forward budget; 0 = ladder off (default 0)
+//!   --crash-budget N  max unexplained datagrams with chaos on
+//!                     (default = --rate, i.e. one second of traffic)
+//!   --json            emit the machine-readable verdict object
+//!
+//! The ledger is streamlined-relay-only: streamlined is the only
+//! datagram-conserving variant (detecting can emit several NACKs per
+//! arrival), so it is the one whose books can be balanced exactly.
+
+use netproxy::fault::FaultConfig;
+use netproxy::loadgen::{BatchLoadGen, BatchSink};
+use netproxy::shard::{OverloadConfig, RelayConfig, ShardedRelay};
+use netproxy::supervisor::SupervisorConfig;
+use netproxy::SocketLayer;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+struct Cli {
+    duration: Duration,
+    seed: u64,
+    layer: SocketLayer,
+    shards: usize,
+    threads: usize,
+    flows: usize,
+    rate: u64,
+    trim: f64,
+    payload: usize,
+    faults: bool,
+    crash: bool,
+    wedge: bool,
+    overload_pps: u64,
+    crash_budget: Option<u64>,
+    json: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            duration: Duration::from_secs(10),
+            seed: 1,
+            layer: SocketLayer::Auto,
+            shards: 2,
+            threads: 2,
+            flows: 64,
+            rate: 40_000,
+            trim: 0.15,
+            payload: 64,
+            faults: true,
+            crash: true,
+            wedge: false,
+            overload_pps: 0,
+            crash_budget: None,
+            json: false,
+        }
+    }
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let usage = "see the module docs: --duration-s --seed --layer --shards --threads --flows \
+                 --rate --trim --payload --no-faults --no-crash --wedge --overload-pps \
+                 --crash-budget --json";
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("{arg} needs a value; {usage}"))
+                .clone()
+        };
+        match arg.as_str() {
+            "--duration-s" => {
+                cli.duration = Duration::from_secs(value().parse().expect("--duration-s N"))
+            }
+            "--seed" => cli.seed = value().parse().expect("--seed N"),
+            "--layer" => {
+                cli.layer = match value().as_str() {
+                    "auto" => SocketLayer::Auto,
+                    "mmsg" => SocketLayer::Mmsg,
+                    "fallback" => SocketLayer::Fallback,
+                    other => panic!("unknown layer {other}; {usage}"),
+                }
+            }
+            "--shards" => cli.shards = value().parse().expect("--shards N"),
+            "--threads" => cli.threads = value().parse().expect("--threads N"),
+            "--flows" => cli.flows = value().parse().expect("--flows N"),
+            "--rate" => cli.rate = value().parse().expect("--rate N"),
+            "--trim" => cli.trim = value().parse().expect("--trim F"),
+            "--payload" => cli.payload = value().parse().expect("--payload N"),
+            "--no-faults" => cli.faults = false,
+            "--no-crash" => cli.crash = false,
+            "--wedge" => cli.wedge = true,
+            "--overload-pps" => cli.overload_pps = value().parse().expect("--overload-pps N"),
+            "--crash-budget" => cli.crash_budget = Some(value().parse().expect("--crash-budget N")),
+            "--json" => cli.json = true,
+            other => panic!("unknown argument {other}; {usage}"),
+        }
+    }
+    cli
+}
+
+/// One ledger line: a named invariant, whether it held, and the numbers
+/// behind it (kept quote-free so the JSON encoding stays trivial).
+struct Check {
+    name: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn check(name: &'static str, pass: bool, detail: String) -> Check {
+    Check { name, pass, detail }
+}
+
+/// Retries `op` with bounded backoff while it fails with `AddrInUse`
+/// (same startup race as in `netproxy_load`).
+fn retry_addr_in_use<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    let mut backoff = Duration::from_millis(10);
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && attempt < 4 => {
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            other => return other,
+        }
+    }
+}
+
+fn main() {
+    let cli = parse_args();
+    // simlint: allow(wall-clock) — a soak harness measures real elapsed time
+    let epoch = Instant::now();
+    let sink = retry_addr_in_use(|| BatchSink::start(1, cli.layer, epoch)).expect("sink");
+    let faults = cli
+        .faults
+        .then(|| FaultConfig::soak(cli.seed, cli.duration));
+    let relay = retry_addr_in_use(|| {
+        ShardedRelay::start(
+            SocketAddr::from(([127, 0, 0, 1], 0)),
+            RelayConfig {
+                shards: cli.shards,
+                layer: cli.layer,
+                faults: faults.clone(),
+                overload: (cli.overload_pps > 0)
+                    .then(|| OverloadConfig::shed_at(cli.overload_pps as f64)),
+                supervisor: SupervisorConfig {
+                    poll: Duration::from_millis(25),
+                    wedge_timeout: Duration::from_millis(400),
+                    ..SupervisorConfig::default()
+                },
+                ..RelayConfig::streamlined(sink.local_addr())
+            },
+        )
+    })
+    .expect("relay");
+    let shards = relay.shards();
+
+    // Chaos schedule: crash one shard mid-run; optionally wedge another
+    // at 60%. Runs on a timer thread while the generator pushes load.
+    let crash_at = cli.duration / 2;
+    let wedge_at = cli.duration * 3 / 5;
+    let chaos = {
+        let relay = &relay;
+        std::thread::scope(|scope| {
+            let chaos_handle = scope.spawn(move || {
+                if cli.crash {
+                    std::thread::sleep(crash_at);
+                    relay.inject_crash(0);
+                }
+                if cli.wedge {
+                    std::thread::sleep(wedge_at.saturating_sub(if cli.crash {
+                        crash_at
+                    } else {
+                        Duration::ZERO
+                    }));
+                    relay.inject_wedge(shards - 1);
+                }
+            });
+            let gen = BatchLoadGen {
+                threads: cli.threads,
+                flows_per_thread: cli.flows,
+                rate_pps: cli.rate,
+                duration: cli.duration,
+                trim_fraction: cli.trim,
+                payload_len: cli.payload,
+                layer: cli.layer,
+                // Faulted relays hold feedback (delay faults, restart
+                // windows); give backflow a real chance to land.
+                drain_grace: Duration::from_millis(500),
+            };
+            let report = gen.run(relay.local_addr(), epoch).expect("loadgen run");
+            chaos_handle.join().expect("chaos thread");
+            report
+        })
+    };
+    let report = chaos;
+
+    // Settle: wait for in-flight datagrams (kernel queues, delayed
+    // releases) to quiesce before snapshotting — two identical samples
+    // 100 ms apart, capped at 3 s.
+    // simlint: allow(wall-clock) — real-time drain deadline for live sockets
+    let settle = Instant::now();
+    let mut last = (0u64, 0u64, 0u64);
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        let s = sink.stats();
+        let r = relay.stats();
+        let now = (s.received + s.trimmed + s.malformed, r.received, r.nacks);
+        if now == last || settle.elapsed() > Duration::from_secs(3) {
+            break;
+        }
+        last = now;
+    }
+
+    let relay_stats = relay.stats();
+    let sink_stats = sink.stats();
+    let fs = relay.fault_stats();
+    let sup = relay.supervisor_stats();
+    let heartbeats: Vec<u64> = (0..shards).map(|s| relay.shard_heartbeat(s)).collect();
+    let generations: Vec<u64> = (0..shards).map(|s| relay.shard_generation(s)).collect();
+
+    let mut checks: Vec<Check> = Vec::new();
+
+    // eqB — relay-internal conservation (exact, always): every received
+    // datagram lands in exactly one outcome bucket.
+    let explained_b = relay_stats.forwarded
+        + relay_stats.reversed
+        + relay_stats.dropped
+        + relay_stats.nacks
+        + relay_stats.nacks_coalesced
+        + relay_stats.shed_dropped;
+    checks.push(check(
+        "relay_conservation",
+        relay_stats.received == explained_b,
+        format!(
+            "received {} == forwarded {} + reversed {} + dropped {} + nacks {} + coalesced {} + shed_dropped {}",
+            relay_stats.received,
+            relay_stats.forwarded,
+            relay_stats.reversed,
+            relay_stats.dropped,
+            relay_stats.nacks,
+            relay_stats.nacks_coalesced,
+            relay_stats.shed_dropped,
+        ),
+    ));
+
+    // Strict send-error classification: every kernel refusal is either
+    // a classified whole-batch loss or did not happen. Partial
+    // (per-datagram) refusals would be unclassifiable — on loopback at
+    // these rates they must not occur.
+    checks.push(check(
+        "send_errors_classified",
+        relay_stats.send_errors == relay_stats.send_err_data + relay_stats.send_err_ctrl,
+        format!(
+            "send_errors {} == data {} + ctrl {}",
+            relay_stats.send_errors, relay_stats.send_err_data, relay_stats.send_err_ctrl,
+        ),
+    ));
+    checks.push(check(
+        "no_release_errors",
+        fs.tx_release_errors == 0,
+        format!("tx_release_errors {}", fs.tx_release_errors),
+    ));
+
+    // eqA — generator → relay, adjusted for counted rx fault events.
+    // What's left over is crash/wedge loss: packets the kernel steered
+    // into a socket that died (queue lost on close) or wedged (queue
+    // overflowed while unserviced).
+    let arrived_adj = report.delivered() + fs.rx_duplicated;
+    let rx_explained =
+        fs.rx_dropped + fs.rx_blackholed + fs.rx_delay_pending() + relay_stats.received;
+    let crash_lost = arrived_adj as i64 - rx_explained as i64;
+    let chaos_on = cli.crash || cli.wedge;
+    let budget = cli.crash_budget.unwrap_or(cli.rate) as i64;
+    let (pass_a, name_a) = if chaos_on {
+        (
+            crash_lost >= 0 && crash_lost <= budget,
+            "ingress_loss_within_crash_budget",
+        )
+    } else {
+        (crash_lost == 0, "ingress_zero_unexplained")
+    };
+    checks.push(check(
+        name_a,
+        pass_a,
+        format!(
+            "crash_lost {} (delivered {} + rx_dup {} - rx_dropped {} - rx_blackholed {} - rx_delay_pending {} - relay_received {}; budget {})",
+            crash_lost,
+            report.delivered(),
+            fs.rx_duplicated,
+            fs.rx_dropped,
+            fs.rx_blackholed,
+            fs.rx_delay_pending(),
+            relay_stats.received,
+            if chaos_on { budget } else { 0 },
+        ),
+    ));
+
+    // eqC — relay → sink, adjusted for counted tx fault events on the
+    // data class. Corrupted data still arrives (as sink malformation),
+    // so corruption does not enter the balance; sink_total includes
+    // every arrival class.
+    let sink_total =
+        sink_stats.received + sink_stats.trimmed + sink_stats.feedback + sink_stats.malformed;
+    let egress_expected =
+        (relay_stats.forwarded + fs.tx_duplicated_data + fs.tx_delay_released_data) as i64
+            - (fs.tx_dropped_data
+                + fs.tx_blackholed_data
+                + fs.tx_delayed_data
+                + relay_stats.send_err_data) as i64;
+    checks.push(check(
+        "egress_accounted",
+        sink_total as i64 == egress_expected,
+        format!(
+            "sink_total {} == forwarded {} + tx_dup_data {} + released {} - tx_dropped_data {} - tx_blackholed_data {} - tx_delayed_data {} - send_err_data {}",
+            sink_total,
+            relay_stats.forwarded,
+            fs.tx_duplicated_data,
+            fs.tx_delay_released_data,
+            fs.tx_dropped_data,
+            fs.tx_blackholed_data,
+            fs.tx_delayed_data,
+            relay_stats.send_err_data,
+        ),
+    ));
+
+    // NACK backflow — relay NACKs minus counted ctrl-class tx losses
+    // bound what the generator can see; slack covers backflow still in
+    // a worker's kernel queue when its drain grace expired.
+    let nack_expected = (relay_stats.nacks + fs.tx_duplicated_ctrl + fs.tx_delay_released_ctrl)
+        as i64
+        - (fs.tx_dropped_ctrl
+            + fs.tx_blackholed_ctrl
+            + fs.tx_delayed_ctrl
+            + fs.tx_corrupted_ctrl
+            + relay_stats.send_err_ctrl) as i64;
+    let nack_slack = (nack_expected / 20).max(128);
+    let nack_gap = nack_expected - report.nacks_received as i64;
+    checks.push(check(
+        "nack_backflow_accounted",
+        (0..=nack_slack).contains(&nack_gap),
+        format!(
+            "expected {} - received {} = gap {} (slack {})",
+            nack_expected, report.nacks_received, nack_gap, nack_slack,
+        ),
+    ));
+
+    // Fault shim engagement: a soak with faults on that injected
+    // nothing proves nothing.
+    if cli.faults {
+        checks.push(check(
+            "faults_engaged",
+            fs.rx_dropped > 0 && fs.rx_delayed > 0 && fs.rx_blackholed > 0 && fs.total_events() > 0,
+            format!(
+                "rx_dropped {} rx_delayed {} rx_blackholed {} total_events {}",
+                fs.rx_dropped,
+                fs.rx_delayed,
+                fs.rx_blackholed,
+                fs.total_events(),
+            ),
+        ));
+    }
+
+    // Recovery: every injected chaos event was detected and the shard
+    // came back (generation advanced, nothing abandoned).
+    if cli.crash {
+        checks.push(check(
+            "crash_recovered",
+            sup.crashes_detected >= 1 && generations[0] >= 1,
+            format!(
+                "crashes_detected {} gen[0] {}",
+                sup.crashes_detected, generations[0],
+            ),
+        ));
+    }
+    if cli.wedge {
+        checks.push(check(
+            "wedge_recovered",
+            sup.wedges_detected >= 1 && generations[shards - 1] >= 1,
+            format!(
+                "wedges_detected {} gen[last] {}",
+                sup.wedges_detected,
+                generations[shards - 1],
+            ),
+        ));
+    }
+    if chaos_on {
+        checks.push(check(
+            "all_shards_alive",
+            sup.gave_up == 0 && sup.restarts >= 1,
+            format!("restarts {} gave_up {}", sup.restarts, sup.gave_up),
+        ));
+        // Liveness at the end of the run: heartbeats still advance.
+        std::thread::sleep(Duration::from_millis(50));
+        let beating = (0..shards).any(|s| relay.shard_heartbeat(s) > heartbeats[s]);
+        checks.push(check(
+            "replacement_shards_beating",
+            beating,
+            format!("heartbeats {heartbeats:?} -> advancing {beating}"),
+        ));
+    }
+
+    // Overload ladder engagement under deliberate overload.
+    if cli.overload_pps > 0 {
+        checks.push(check(
+            "shed_ladder_engaged",
+            relay_stats.shed_nacked + relay_stats.shed_dropped > 0
+                && relay_stats.nacks_coalesced > 0,
+            format!(
+                "shed_nacked {} shed_dropped {} nacks_coalesced {}",
+                relay_stats.shed_nacked, relay_stats.shed_dropped, relay_stats.nacks_coalesced,
+            ),
+        ));
+    }
+
+    let pass = checks.iter().all(|c| c.pass);
+    if cli.json {
+        let mut body = String::new();
+        for (i, c) in checks.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "{{\"name\":\"{}\",\"pass\":{},\"detail\":\"{}\"}}",
+                c.name, c.pass, c.detail,
+            ));
+        }
+        println!(
+            "{{\"suite\":\"netproxy_soak\",\"layer\":\"{}\",\"duration_s\":{},\"seed\":{},\"shards\":{},\"rate_pps\":{},\"trim\":{},\"faults\":{},\"crash\":{},\"wedge\":{},\"overload_pps\":{},\"sent\":{},\"delivered\":{},\"nacks_received\":{},\"relay_received\":{},\"relay_forwarded\":{},\"relay_nacks\":{},\"relay_dropped\":{},\"relay_shed_nacked\":{},\"relay_shed_dropped\":{},\"relay_nacks_coalesced\":{},\"relay_io_retries\":{},\"sink_received\":{},\"sink_malformed\":{},\"fault_events\":{},\"supervisor_restarts\":{},\"supervisor_crashes\":{},\"supervisor_wedges\":{},\"supervisor_gave_up\":{},\"crash_lost\":{},\"checks\":[{}],\"verdict\":\"{}\"}}",
+            relay.layer().name(),
+            cli.duration.as_secs(),
+            cli.seed,
+            shards,
+            cli.rate,
+            cli.trim,
+            cli.faults,
+            cli.crash,
+            cli.wedge,
+            cli.overload_pps,
+            report.sent_packets,
+            report.delivered(),
+            report.nacks_received,
+            relay_stats.received,
+            relay_stats.forwarded,
+            relay_stats.nacks,
+            relay_stats.dropped,
+            relay_stats.shed_nacked,
+            relay_stats.shed_dropped,
+            relay_stats.nacks_coalesced,
+            relay_stats.io_retries,
+            sink_stats.received,
+            sink_stats.malformed,
+            fs.total_events(),
+            sup.restarts,
+            sup.crashes_detected,
+            sup.wedges_detected,
+            sup.gave_up,
+            crash_lost,
+            body,
+            if pass { "pass" } else { "fail" },
+        );
+    } else {
+        println!(
+            "netproxy_soak: {}s on {} layer, {} shards, {} pkts/sec, faults={} crash={} wedge={} overload={}",
+            cli.duration.as_secs(),
+            relay.layer().name(),
+            shards,
+            cli.rate,
+            cli.faults,
+            cli.crash,
+            cli.wedge,
+            cli.overload_pps,
+        );
+        println!(
+            "  gen: {} sent / {} delivered, {} NACKs back; relay: {} received, {} forwarded, {} nacks ({} shed, {} coalesced, {} shed-dropped), {} io retries",
+            report.sent_packets,
+            report.delivered(),
+            report.nacks_received,
+            relay_stats.received,
+            relay_stats.forwarded,
+            relay_stats.nacks,
+            relay_stats.shed_nacked,
+            relay_stats.nacks_coalesced,
+            relay_stats.shed_dropped,
+            relay_stats.io_retries,
+        );
+        println!(
+            "  faults: {} events; supervisor: {} restarts ({} crashes, {} wedges, {} abandoned); crash_lost {}",
+            fs.total_events(),
+            sup.restarts,
+            sup.crashes_detected,
+            sup.wedges_detected,
+            sup.gave_up,
+            crash_lost,
+        );
+        for c in &checks {
+            println!(
+                "  [{}] {}: {}",
+                if c.pass { "ok" } else { "FAIL" },
+                c.name,
+                c.detail
+            );
+        }
+        println!("  verdict: {}", if pass { "PASS" } else { "FAIL" });
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

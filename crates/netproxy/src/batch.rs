@@ -152,6 +152,40 @@ impl RecvRing {
     pub fn reset(&mut self) {
         self.count = 0;
     }
+
+    /// Removes datagram `i` by swapping it with the last slot (datagram
+    /// order within a batch carries no meaning — each is routed
+    /// independently). Used by the fault shim to drop/steal inbound
+    /// datagrams before the relay sees them. Must not be called while a
+    /// [`SendQueue`] holds slot references into this ring.
+    #[inline]
+    pub(crate) fn swap_remove(&mut self, i: usize) {
+        debug_assert!(i < self.count);
+        let last = self.count - 1;
+        if i != last {
+            self.bufs.swap(i, last);
+            self.lens.swap(i, last);
+            self.addrs.swap(i, last);
+        }
+        self.count = last;
+    }
+
+    /// Appends a received datagram (bytes + source address) into the next
+    /// free slot — the fault shim's delay-release path, which re-injects
+    /// previously stolen datagrams as if they had just arrived. Returns
+    /// false when the ring is full.
+    #[inline]
+    pub(crate) fn push_received(&mut self, bytes: &[u8], from: SocketAddr) -> bool {
+        if self.count == BATCH || bytes.len() > MAX_DATAGRAM {
+            return false;
+        }
+        let i = self.count;
+        self.bufs[i][..bytes.len()].copy_from_slice(bytes);
+        self.lens[i] = bytes.len();
+        self.addrs[i] = from;
+        self.count += 1;
+        true
+    }
 }
 
 /// Where a queued outbound datagram's bytes live.
@@ -228,9 +262,11 @@ impl SendQueue {
             .push((SendSrc::Scratch(self.scratch.len() as u32 - 1), dest));
     }
 
-    /// Resolves entry `i` to its bytes and destination.
+    /// Resolves entry `i` to its bytes and destination. `pub(crate)` so
+    /// the fault shim can inspect/copy queued datagrams before deciding
+    /// their fate.
     #[inline]
-    fn resolve<'a>(&'a self, ring: &'a RecvRing, i: usize) -> (&'a [u8], SocketAddr) {
+    pub(crate) fn resolve<'a>(&'a self, ring: &'a RecvRing, i: usize) -> (&'a [u8], SocketAddr) {
         let (src, dest) = self.entries[i];
         let bytes = match src {
             SendSrc::Slot { slot, len } => &ring.bufs[slot as usize][..len as usize],

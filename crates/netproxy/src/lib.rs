@@ -45,10 +45,12 @@
 
 pub mod batch;
 pub mod detecting;
+pub mod fault;
 pub mod loadgen;
 pub mod naive;
 pub mod shard;
 pub mod streamlined;
+pub mod supervisor;
 pub(crate) mod sync;
 #[cfg(all(test, not(miri)))]
 pub(crate) mod testutil;
@@ -57,10 +59,16 @@ pub mod wire;
 
 pub use batch::{BatchIo, RecvRing, SendQueue, SocketLayer, BATCH};
 pub use detecting::DetectingUdpProxy;
+pub use fault::{
+    BlackoutWindow, DirectionFaults, FaultConfig, FaultSnapshot, FaultStats, FaultedIo, SynthErrors,
+};
 pub use loadgen::{BatchLoadGen, BatchLoadReport, BatchSink, SinkStats};
 pub use naive::NaiveProxy;
-pub use shard::{RelayConfig, RelayKind, RelayStats, ShardedRelay};
+pub use shard::{
+    FlowDirectory, OverloadConfig, RelayConfig, RelayKind, RelayStats, ShardStats, ShardedRelay,
+};
 pub use streamlined::{decide, Action, StreamlinedUdpProxy};
+pub use supervisor::{ChaosKind, ShardSlot, SupervisorConfig, SupervisorStats};
 pub use transport::{
     FallbackConfig, ReliableReceiver, ReliableSender, TransferStats, TransportError,
 };

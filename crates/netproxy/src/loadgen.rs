@@ -219,6 +219,11 @@ pub struct BatchLoadGen {
     pub payload_len: usize,
     /// Socket layer (mmsg or portable fallback).
     pub layer: SocketLayer,
+    /// How long each worker keeps draining NACK backflow after its send
+    /// clock runs out. Fault-injected relays (delay faults, restart
+    /// windows) can hold feedback far longer than a clean datapath, so
+    /// soak runs need a real grace period for the ledger to balance.
+    pub drain_grace: Duration,
 }
 
 impl BatchLoadGen {
@@ -233,6 +238,7 @@ impl BatchLoadGen {
             trim_fraction: 0.0,
             payload_len: 64,
             layer: SocketLayer::Auto,
+            drain_grace: Duration::from_millis(10),
         }
     }
 
@@ -340,8 +346,10 @@ impl BatchLoadGen {
             out.sent += burst as u64;
             out.send_errors += outcome.errors;
         }
-        // Catch NACKs still in flight when the clock ran out.
-        for _ in 0..3 {
+        // Catch NACKs still in flight when the clock ran out (each
+        // drain round blocks at most the 2 ms recv poll quantum).
+        let grace_until = Instant::now() + self.drain_grace;
+        while Instant::now() < grace_until {
             drain_feedback(io.as_mut(), &mut ring, &mut out.nacks);
         }
         Ok(out)
@@ -707,6 +715,7 @@ mod tests {
             trim_fraction: 0.3,
             payload_len: 64,
             layer: SocketLayer::Auto,
+            drain_grace: Duration::from_millis(10),
         };
         let report = gen.run(relay.local_addr(), epoch).unwrap();
         assert!(report.trimmed_sent > 0, "{report:?}");

@@ -36,9 +36,15 @@
 //!   shard bounded-memory gap inference NACKs inferred losses, plus a
 //!   quiescence sweep for tail losses.
 
-use crate::batch::{self, BatchIo, RecvRing, SendQueue, SocketLayer};
+use crate::batch::{self, BatchIo, RecvRing, SendOutcome, SendQueue, SocketLayer, BATCH};
+use crate::fault::{FaultConfig, FaultSnapshot, FaultStats, FaultedIo};
+use crate::supervisor::{
+    self, ChaosKind, ShardSlot, SupervisorConfig, SupervisorShared, SupervisorStats,
+};
 use crate::sync::{AtomicBool, AtomicU64, Ordering};
-use crate::wire::{rewrite_trimmed_to_nack, DatagramView, Flags, WIRE_HEADER_LEN};
+use crate::wire::{
+    rewrite_data_to_nack, rewrite_trimmed_to_nack, DatagramView, Flags, WIRE_HEADER_LEN,
+};
 use incast_core::lossdetect::{LossDetector, LossDetectorConfig};
 use std::collections::HashMap;
 use std::io;
@@ -86,6 +92,15 @@ pub struct RelayConfig {
     pub detector: LossDetectorConfig,
     /// Quiescence-sweep period ([`RelayKind::Detecting`] only).
     pub sweep_interval: Duration,
+    /// Fault injection wrapped around every shard socket (`None` = the
+    /// clean datapath; the hot path pays nothing). Blackout offsets are
+    /// measured from [`ShardedRelay::start`].
+    pub faults: Option<FaultConfig>,
+    /// Overload admission control (`None` = forward everything, the
+    /// pre-shedding behavior; the hot path pays nothing).
+    pub overload: Option<OverloadConfig>,
+    /// Crash/wedge supervision tuning.
+    pub supervisor: SupervisorConfig,
 }
 
 impl RelayConfig {
@@ -98,6 +113,148 @@ impl RelayConfig {
             receiver,
             detector: LossDetectorConfig::default(),
             sweep_interval: Duration::from_millis(50),
+            faults: None,
+            overload: None,
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
+/// Per-shard token-bucket admission control: the shed ladder's budgets.
+///
+/// The ladder degrades saturation gracefully instead of amplifying it
+/// (DESIGN.md §15): a data datagram that finds the **forward** bucket
+/// empty is not forwarded but answered with a NACK (explicit overload
+/// notification, the Pulser insight from PAPERS.md) — and when the
+/// **nack** bucket is empty too, it is dropped *with a counter*, never
+/// silently. NACK-storm suppression coalesces duplicate NACKs per flow
+/// per batch so feedback volume stays bounded under incast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadConfig {
+    /// Sustained forward budget, datagrams/second.
+    pub forward_pps: f64,
+    /// Forward burst capacity, datagrams.
+    pub forward_burst: f64,
+    /// Sustained NACK budget, datagrams/second (shed-NACKs and
+    /// trim-NACKs share it).
+    pub nack_pps: f64,
+    /// NACK burst capacity, datagrams.
+    pub nack_burst: f64,
+    /// Coalesce duplicate NACKs per flow per batch.
+    pub coalesce_nacks: bool,
+}
+
+impl OverloadConfig {
+    /// A ladder that sheds above `forward_pps` per shard, with NACK
+    /// budget at a quarter of the forward budget and coalescing on.
+    pub fn shed_at(forward_pps: f64) -> Self {
+        OverloadConfig {
+            forward_pps,
+            forward_burst: (2 * BATCH) as f64,
+            nack_pps: forward_pps / 4.0,
+            nack_burst: BATCH as f64,
+            coalesce_nacks: true,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("forward_pps", self.forward_pps),
+            ("forward_burst", self.forward_burst),
+            ("nack_pps", self.nack_pps),
+            ("nack_burst", self.nack_burst),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("overload.{name} must be finite and > 0"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A standard token bucket over wall-clock time (per shard, no atomics:
+/// admission state never crosses threads).
+#[derive(Debug)]
+struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: f64, burst: f64, now: Instant) -> Self {
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            last: now,
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+    }
+
+    fn take(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// What the NACK budget says about one would-be NACK.
+enum NackVerdict {
+    /// Queue it.
+    Send,
+    /// Suppressed: this flow was already NACKed in this batch.
+    Coalesced,
+    /// Suppressed: NACK budget exhausted.
+    Shed,
+}
+
+/// Per-shard shed-ladder state (thread-private, refilled once per
+/// batch so the per-datagram cost is a float compare).
+struct OverloadState {
+    forward: TokenBucket,
+    nack: TokenBucket,
+    coalesce: bool,
+    /// Flows NACKed in the current batch (≤ [`BATCH`] entries; linear
+    /// scan beats hashing at this size).
+    nacked_flows: Vec<u64>,
+}
+
+impl OverloadState {
+    fn new(cfg: OverloadConfig) -> Self {
+        let now = Instant::now();
+        OverloadState {
+            forward: TokenBucket::new(cfg.forward_pps, cfg.forward_burst, now),
+            nack: TokenBucket::new(cfg.nack_pps, cfg.nack_burst, now),
+            coalesce: cfg.coalesce_nacks,
+            nacked_flows: Vec::with_capacity(BATCH),
+        }
+    }
+
+    fn begin_batch(&mut self, now: Instant) {
+        self.forward.refill(now);
+        self.nack.refill(now);
+        self.nacked_flows.clear();
+    }
+
+    fn nack_verdict(&mut self, flow: u64) -> NackVerdict {
+        if self.coalesce && self.nacked_flows.contains(&flow) {
+            return NackVerdict::Coalesced;
+        }
+        if self.nack.take() {
+            self.nacked_flows.push(flow);
+            NackVerdict::Send
+        } else {
+            NackVerdict::Shed
         }
     }
 }
@@ -123,6 +280,24 @@ pub struct ShardStats {
     pub received: AtomicU64,
     /// Largest single receive batch seen.
     pub max_batch: AtomicU64,
+    /// Data datagrams the shed ladder answered with a NACK instead of
+    /// forwarding (subset of `nacks`).
+    pub shed_nacked: AtomicU64,
+    /// Datagrams the shed ladder dropped outright (budget exhausted on
+    /// every rung) — counted, never silent.
+    pub shed_dropped: AtomicU64,
+    /// NACKs suppressed because the flow was already NACKed in the same
+    /// batch (storm suppression).
+    pub nacks_coalesced: AtomicU64,
+    /// Transient socket errors absorbed by retrying (EAGAIN/ENOBUFS,
+    /// synthetic or real) instead of killing the shard.
+    pub io_retries: AtomicU64,
+    /// Data datagrams lost to a whole-batch send failure (classified
+    /// from the unsent queue; subset of `send_errors`).
+    pub send_err_data: AtomicU64,
+    /// Control datagrams (NACK/ACK) lost to a whole-batch send failure
+    /// (subset of `send_errors`).
+    pub send_err_ctrl: AtomicU64,
 }
 
 /// A merged snapshot of every shard's counters.
@@ -144,6 +319,18 @@ pub struct RelayStats {
     pub received: u64,
     /// Largest single receive batch across shards.
     pub max_batch: u64,
+    /// Data datagrams shed as NACKs (subset of `nacks`).
+    pub shed_nacked: u64,
+    /// Datagrams dropped by the shed ladder.
+    pub shed_dropped: u64,
+    /// NACKs suppressed by per-flow-per-batch coalescing.
+    pub nacks_coalesced: u64,
+    /// Transient socket errors absorbed by retrying.
+    pub io_retries: u64,
+    /// Data datagrams lost to whole-batch send failures.
+    pub send_err_data: u64,
+    /// Control datagrams lost to whole-batch send failures.
+    pub send_err_ctrl: u64,
 }
 
 impl RelayStats {
@@ -163,6 +350,12 @@ impl RelayStats {
         self.batches += s.batches.load(Ordering::Relaxed);
         self.received += s.received.load(Ordering::Relaxed);
         self.max_batch = self.max_batch.max(s.max_batch.load(Ordering::Relaxed));
+        self.shed_nacked += s.shed_nacked.load(Ordering::Relaxed);
+        self.shed_dropped += s.shed_dropped.load(Ordering::Relaxed);
+        self.nacks_coalesced += s.nacks_coalesced.load(Ordering::Relaxed);
+        self.io_retries += s.io_retries.load(Ordering::Relaxed);
+        self.send_err_data += s.send_err_data.load(Ordering::Relaxed);
+        self.send_err_ctrl += s.send_err_ctrl.load(Ordering::Relaxed);
     }
 }
 
@@ -175,7 +368,10 @@ impl RelayStats {
 /// the flow's home shard via the private table). Values pack an IPv4
 /// `addr:port` into a u64; IPv6 senders likewise stay private-table
 /// only. Both limits are irrelevant on the loopback testbed and
-/// documented in DESIGN.md §13.
+/// documented in DESIGN.md §13 — but no longer *silent*: every publish
+/// that falls off one of them (sentinel key, IPv6, table saturation)
+/// increments [`FlowDirectory::publish_failed`], so an operator can see
+/// a directory that stopped absorbing new flows.
 ///
 /// Public (and built on the `crate::sync` atomic shim) so the loom
 /// models in `tests/loom.rs` can explore every interleaving of
@@ -186,6 +382,7 @@ pub struct FlowDirectory {
     keys: Box<[AtomicU64]>,
     vals: Box<[AtomicU64]>,
     mask: usize,
+    publish_failed: AtomicU64,
 }
 
 /// Probe limit before an insert gives up (lookups stop at the first
@@ -214,7 +411,22 @@ impl FlowDirectory {
             keys: (0..cap).map(|_| AtomicU64::new(0)).collect(),
             vals: (0..cap).map(|_| AtomicU64::new(0)).collect(),
             mask: cap - 1,
+            publish_failed: AtomicU64::new(0),
         }
+    }
+
+    /// Publishes that could not land: sentinel flow id, IPv6 sender, or
+    /// table saturation. The flow still works on its home shard via the
+    /// private table; what's lost is only cross-shard feedback routing.
+    pub fn publish_failed(&self) -> u64 {
+        // ordering: Relaxed — monotone counter read by snapshots; no
+        // non-atomic data rides on it.
+        self.publish_failed.load(Ordering::Relaxed)
+    }
+
+    fn note_publish_failed(&self) {
+        // ordering: Relaxed — see `publish_failed`.
+        self.publish_failed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Publishes `flow → sender`. Lock-free; loses the race gracefully
@@ -231,10 +443,12 @@ impl FlowDirectory {
     pub fn publish(&self, flow: u64, sender: SocketAddr) {
         let key = flow.wrapping_add(1);
         if key == 0 {
-            return; // flow u64::MAX: private-table only
+            self.note_publish_failed(); // flow u64::MAX: private-table only
+            return;
         }
         let Some(val) = pack_v4(sender) else {
-            return; // IPv6 sender: private-table only
+            self.note_publish_failed(); // IPv6 sender: private-table only
+            return;
         };
         let mut idx = (flow.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) as usize & self.mask;
         for _ in 0..DIR_MAX_PROBES {
@@ -274,6 +488,7 @@ impl FlowDirectory {
             idx = (idx + 1) & self.mask;
         }
         // Table saturated: flow stays private-table only.
+        self.note_publish_failed();
     }
 
     /// Looks up a flow's sender, if any shard has published it.
@@ -308,67 +523,150 @@ impl FlowDirectory {
 }
 
 /// A running sharded relay.
+///
+/// Shard threads are owned by a supervisor thread ([`crate::supervisor`]):
+/// a crashed or wedged shard is restarted on a fresh socket bound to the
+/// same `SO_REUSEPORT` port, under the same [`ShardStats`] handle (so
+/// counters stay monotone across restarts) and against the same shared
+/// [`FlowDirectory`] (so cross-shard feedback routing for in-flight flows
+/// survives; the replacement re-learns private-table entries from each
+/// flow's next data packet).
 pub struct ShardedRelay {
     local_addr: SocketAddr,
     shard_stats: Vec<Arc<ShardStats>>,
+    fault_stats: Arc<FaultStats>,
+    directory: Arc<FlowDirectory>,
     recorder: LatencyRecorder,
     stop: Arc<AtomicBool>,
-    handles: Vec<thread::JoinHandle<()>>,
+    supervisor: Option<thread::JoinHandle<()>>,
+    slots: Vec<Arc<ShardSlot>>,
+    shared: Arc<SupervisorShared>,
     layer: SocketLayer,
     kind: RelayKind,
 }
 
 impl ShardedRelay {
     /// Binds `config.shards` sockets on `listen` (one port, kernel
-    /// flow steering) and starts one relay thread per shard.
+    /// flow steering) and starts one relay thread per shard, plus the
+    /// supervisor thread that owns them.
     ///
     /// # Errors
-    /// Socket/bind errors, or `Unsupported` for a forced-mmsg layer off
-    /// Linux.
+    /// Socket/bind errors, `Unsupported` for a forced-mmsg layer off
+    /// Linux, or `InvalidInput` for an invalid fault/overload config.
     pub fn start(listen: SocketAddr, config: RelayConfig) -> io::Result<ShardedRelay> {
+        if let Some(fc) = &config.faults {
+            fc.validate()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        }
+        if let Some(ov) = &config.overload {
+            ov.validate()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        }
         let shards = effective_shards(config.shards);
+        // The blackout schedule (and every shard's fault clock) is
+        // anchored here, not per worker spawn, so restarted shards stay
+        // on the relay-wide schedule.
+        let epoch = Instant::now();
         let first = batch::bind_reuseport(listen)?;
         let local_addr = first.local_addr()?;
-        let mut sockets = vec![first];
+        let mut prebound: Vec<Option<std::net::UdpSocket>> = vec![Some(first)];
         for _ in 1..shards {
-            sockets.push(batch::bind_reuseport(local_addr)?);
+            prebound.push(Some(batch::bind_reuseport(local_addr)?));
         }
 
         let directory = Arc::new(FlowDirectory::new(64 * 1024));
         let recorder = LatencyRecorder::new();
         let stop = Arc::new(AtomicBool::new(false));
-        let mut shard_stats = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
+        let fault_stats = Arc::new(FaultStats::default());
+        let shared = Arc::new(SupervisorShared::default());
         let layer = config.layer.resolved();
-        for (shard_id, socket) in sockets.into_iter().enumerate() {
-            let io = batch::open(socket, config.layer)?;
-            let stats = Arc::new(ShardStats::default());
-            shard_stats.push(stats.clone());
-            let worker = ShardWorker {
-                io,
-                kind: config.kind,
-                receiver: config.receiver,
-                detector: LossDetector::new(config.detector),
-                sweep_interval: config.sweep_interval,
-                directory: directory.clone(),
-                stats,
-                stop: stop.clone(),
-                recorder: recorder.clone(),
-            };
-            handles.push(
+        let shard_stats: Vec<Arc<ShardStats>> = (0..shards)
+            .map(|_| Arc::new(ShardStats::default()))
+            .collect();
+        let slots: Vec<Arc<ShardSlot>> = (0..shards).map(|_| Arc::new(ShardSlot::new())).collect();
+
+        // The one spawner, used for the initial generation (prebound
+        // sockets) and for every supervisor restart (fresh bind to the
+        // same port). Everything a worker needs outlives the worker:
+        // stats, slots, the directory.
+        let mut spawn = {
+            let config = config.clone();
+            let directory = directory.clone();
+            let recorder = recorder.clone();
+            let stop = stop.clone();
+            let fault_stats = fault_stats.clone();
+            let shard_stats = shard_stats.clone();
+            let slots = slots.clone();
+            move |shard_id: usize, generation: u64| -> io::Result<thread::JoinHandle<()>> {
+                let socket = match prebound[shard_id].take() {
+                    Some(s) => s,
+                    None => bind_with_retry(local_addr)?,
+                };
+                let inner = batch::open(socket, config.layer)?;
+                let io: Box<dyn BatchIo> = match &config.faults {
+                    Some(fc) => {
+                        // Per shard × generation fault stream: a restart
+                        // never replays the exact fault sequence that
+                        // killed (or starved) the previous incarnation,
+                        // while the run stays seed-reproducible.
+                        let seed =
+                            trace::derive_seed(fc.seed, ((shard_id as u64) << 32) | generation);
+                        Box::new(FaultedIo::new(
+                            inner,
+                            fc.clone(),
+                            seed,
+                            epoch,
+                            fault_stats.clone(),
+                        ))
+                    }
+                    None => inner,
+                };
+                let worker = ShardWorker {
+                    io,
+                    kind: config.kind,
+                    receiver: config.receiver,
+                    detector: LossDetector::new(config.detector),
+                    sweep_interval: config.sweep_interval,
+                    directory: directory.clone(),
+                    stats: shard_stats[shard_id].clone(),
+                    stop: stop.clone(),
+                    recorder: recorder.clone(),
+                    slot: slots[shard_id].clone(),
+                    my_gen: generation,
+                    overload: config.overload.map(OverloadState::new),
+                };
                 thread::Builder::new()
-                    .name(format!("relay-shard-{shard_id}"))
+                    .name(format!("relay-shard-{shard_id}.g{generation}"))
                     .spawn(move || worker.run())
-                    .expect("spawn relay shard"),
-            );
+            }
+        };
+
+        let mut handles = Vec::with_capacity(shards);
+        for shard_id in 0..shards {
+            handles.push(spawn(shard_id, 0)?);
         }
+        // The supervisor always runs (single code path); when disabled
+        // it only joins the workers on shutdown.
+        let supervisor = {
+            let cfg = config.supervisor;
+            let slots = slots.clone();
+            let stop = stop.clone();
+            let shared = shared.clone();
+            thread::Builder::new()
+                .name("relay-supervisor".into())
+                .spawn(move || supervisor::supervise(cfg, slots, handles, stop, shared, spawn))?
+        };
 
         Ok(ShardedRelay {
             local_addr,
             shard_stats,
+            fault_stats,
+            directory,
             recorder,
             stop,
-            handles,
+            supervisor: Some(supervisor),
+            slots,
+            shared,
             layer,
             kind: config.kind,
         })
@@ -408,19 +706,68 @@ impl ShardedRelay {
         &self.shard_stats
     }
 
+    /// Fault-injection counters (all zero when `faults` was `None`).
+    pub fn fault_stats(&self) -> FaultSnapshot {
+        self.fault_stats.snapshot()
+    }
+
+    /// The shared cross-shard flow directory (survives shard restarts).
+    pub fn directory(&self) -> &FlowDirectory {
+        &self.directory
+    }
+
+    /// Supervision activity so far: restarts, crash/wedge detections,
+    /// abandoned shards.
+    pub fn supervisor_stats(&self) -> SupervisorStats {
+        SupervisorStats {
+            restarts: self.slots.iter().map(|s| s.restarts()).sum(),
+            // ordering: Relaxed — monotone event counters for
+            // snapshots; no non-atomic data rides on them.
+            crashes_detected: self.shared.crashes.load(Ordering::Relaxed),
+            wedges_detected: self.shared.wedges.load(Ordering::Relaxed),
+            gave_up: self.shared.gave_up.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Injects a simulated crash into `shard` (consumed at its next
+    /// loop iteration): the worker thread exits, dropping its socket.
+    pub fn inject_crash(&self, shard: usize) {
+        self.slots[shard].inject(ChaosKind::Crash);
+    }
+
+    /// Injects a simulated wedge into `shard`: the worker stops beating
+    /// but holds its socket open until the supervisor supersedes it.
+    pub fn inject_wedge(&self, shard: usize) {
+        self.slots[shard].inject(ChaosKind::Wedge);
+    }
+
+    /// The generation `shard` is (supposed to be) running; bumps count
+    /// completed supersessions.
+    pub fn shard_generation(&self, shard: usize) -> u64 {
+        self.slots[shard].generation()
+    }
+
+    /// `shard`'s liveness counter (advances once per relay-loop
+    /// iteration).
+    pub fn shard_heartbeat(&self, shard: usize) -> u64 {
+        self.slots[shard].heartbeat()
+    }
+
     /// Amortized per-datagram processing latency (batch time / batch
     /// size — the Figure 5b analogue at batch granularity).
     pub fn recorder(&self) -> &LatencyRecorder {
         &self.recorder
     }
 
-    /// Signals every shard to stop and waits for them to exit.
+    /// Signals every shard to stop and waits (via the supervisor, which
+    /// owns the worker handles) for them to exit. Idempotent.
     pub fn shutdown(&mut self) {
-        // ordering: Release — pairs with the Acquire poll in
-        // `ShardWorker::run`, so a worker that observes the flag also
-        // observes everything the shutting-down thread did before it.
+        // ordering: Release — pairs with the Acquire polls in
+        // `ShardWorker::run` and `supervisor::supervise`, so a thread
+        // that observes the flag also observes everything the
+        // shutting-down thread did before it.
         self.stop.store(true, Ordering::Release);
-        for h in self.handles.drain(..) {
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
     }
@@ -430,6 +777,29 @@ impl Drop for ShardedRelay {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Binds a replacement `SO_REUSEPORT` socket for a restarted shard.
+///
+/// On Linux this succeeds immediately (the port is shared). On the
+/// portable single-shard path there is no `SO_REUSEPORT`, so the port
+/// only frees up once the previous incarnation's socket is fully
+/// closed — a wedged orphan may hold it for a poll or two. A short
+/// bounded retry covers that window; a persistent failure surfaces to
+/// the supervisor, which burns restart budget and eventually gives up.
+fn bind_with_retry(addr: SocketAddr) -> io::Result<std::net::UdpSocket> {
+    const ATTEMPTS: usize = 3;
+    let mut last_err = None;
+    for attempt in 0..ATTEMPTS {
+        if attempt > 0 {
+            thread::sleep(Duration::from_millis(5));
+        }
+        match batch::bind_reuseport(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one bind attempt"))
 }
 
 /// Shard count after platform clamping: 0 = one per core; >1 requires
@@ -458,6 +828,13 @@ struct ShardWorker {
     stats: Arc<ShardStats>,
     stop: Arc<AtomicBool>,
     recorder: LatencyRecorder,
+    /// Supervision slot shared with the supervisor thread.
+    slot: Arc<ShardSlot>,
+    /// The generation this incarnation was spawned as; a bumped slot
+    /// generation means we have been superseded and must exit.
+    my_gen: u64,
+    /// Shed-ladder state (`None` = admission control off, zero cost).
+    overload: Option<OverloadState>,
 }
 
 /// Per-batch counter accumulator, flushed to the shard atomics once per
@@ -468,6 +845,24 @@ struct Local {
     nacks: u64,
     reversed: u64,
     dropped: u64,
+    shed_nacked: u64,
+    shed_dropped: u64,
+    nacks_coalesced: u64,
+    send_err_data: u64,
+    send_err_ctrl: u64,
+}
+
+/// Errors a shard absorbs by retrying instead of dying: the
+/// EAGAIN family (`WouldBlock` / `TimedOut` / `Interrupted`) and ENOBUFS
+/// (`OutOfMemory`), whether real or synthesized by the fault shim.
+fn is_transient_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::OutOfMemory
+    )
 }
 
 impl ShardWorker {
@@ -480,12 +875,39 @@ impl ShardWorker {
         let mut senders: HashMap<u64, SocketAddr> = HashMap::new();
         let mut last_activity: HashMap<u64, Instant> = HashMap::new();
         let mut next_sweep = Instant::now() + self.sweep_interval;
-        // ordering: Acquire — pairs with the Release store in
-        // `ShardedRelay::shutdown`.
-        while !self.stop.load(Ordering::Acquire) {
+        loop {
+            // ordering: Acquire — pairs with the Release store in
+            // `ShardedRelay::shutdown`.
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            // Superseded (wedge recovery): exit and release the socket,
+            // which is what actually ends the blackhole.
+            if self.slot.generation() != self.my_gen {
+                return;
+            }
+            self.slot.beat();
+            match self.slot.take_chaos() {
+                None => {}
+                // Simulated crash: die as after a hard socket error.
+                Some(ChaosKind::Crash) => return,
+                // Simulated wedge: stop servicing the socket but keep
+                // it open — flows steered here blackhole until the
+                // supervisor notices the stale heartbeat.
+                Some(ChaosKind::Wedge) => {
+                    self.wedge_stall();
+                    return;
+                }
+            }
             let got = match self.io.recv_batch(&mut ring) {
                 Ok(n) => n,
-                Err(_) => break, // socket died; shard exits, others continue
+                Err(e) if is_transient_io(&e) => {
+                    // ordering: Relaxed — monotone counter, as in the
+                    // batch flush below.
+                    self.stats.io_retries.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                Err(_) => return, // socket died; the supervisor restarts us
             };
             if got == 0 {
                 if self.kind == RelayKind::Detecting && Instant::now() >= next_sweep {
@@ -496,6 +918,9 @@ impl ShardWorker {
             }
             let start = Instant::now();
             let mut local = Local::default();
+            if let Some(ov) = self.overload.as_mut() {
+                ov.begin_batch(start);
+            }
             for i in 0..got {
                 self.classify(
                     &mut ring,
@@ -506,12 +931,35 @@ impl ShardWorker {
                     &mut local,
                 );
             }
-            let outcome = match self.io.send_batch(&ring, &queue) {
-                Ok(o) => o,
-                Err(_) => break,
+            let send_result = self.io.send_batch(&ring, &queue);
+            let outcome = match &send_result {
+                Ok(o) => *o,
+                Err(_) => {
+                    // Whole-batch send failure: everything queued was
+                    // lost. Classify the unsent queue (data vs control)
+                    // so the soak ledger can account for each datagram
+                    // even on this path.
+                    for qi in 0..queue.len() {
+                        let (bytes, _) = queue.resolve(&ring, qi);
+                        let is_data = DatagramView::parse(bytes)
+                            .map(|v| v.flags().contains(Flags::DATA))
+                            .unwrap_or(false);
+                        if is_data {
+                            local.send_err_data += 1;
+                        } else {
+                            local.send_err_ctrl += 1;
+                        }
+                    }
+                    SendOutcome {
+                        sent: 0,
+                        errors: queue.len() as u64,
+                    }
+                }
             };
             queue.clear();
-            // Flush the batch's counters in one go.
+            // Flush the batch's counters in one go — unconditionally,
+            // *before* any error return, so a dying shard never loses a
+            // processed batch from the ledger.
             let s = &self.stats;
             // ordering: Relaxed — monotone counters read only by
             // `RelayStats::merge` snapshots, which tolerate mixed
@@ -524,12 +972,59 @@ impl ShardWorker {
             s.batches.fetch_add(1, Ordering::Relaxed);
             s.received.fetch_add(got as u64, Ordering::Relaxed);
             s.max_batch.fetch_max(got as u64, Ordering::Relaxed);
+            s.shed_nacked
+                .fetch_add(local.shed_nacked, Ordering::Relaxed);
+            s.shed_dropped
+                .fetch_add(local.shed_dropped, Ordering::Relaxed);
+            s.nacks_coalesced
+                .fetch_add(local.nacks_coalesced, Ordering::Relaxed);
+            s.send_err_data
+                .fetch_add(local.send_err_data, Ordering::Relaxed);
+            s.send_err_ctrl
+                .fetch_add(local.send_err_ctrl, Ordering::Relaxed);
             self.recorder
                 .record_nanos(start.elapsed().as_nanos() as u64 / got as u64);
             if self.kind == RelayKind::Detecting && Instant::now() >= next_sweep {
                 self.sweep(&senders, &mut last_activity, &mut queue);
                 next_sweep = Instant::now() + self.sweep_interval;
             }
+            match send_result {
+                Ok(_) => {}
+                Err(e) if is_transient_io(&e) => {
+                    // ordering: Relaxed — monotone counter, as above.
+                    self.stats.io_retries.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => return, // counters flushed above; let the supervisor act
+            }
+        }
+    }
+
+    /// Simulated wedge: hold the socket open without servicing it until
+    /// shutdown or supersession. Mirrors a worker stuck in a syscall or
+    /// an infinite loop — the kernel keeps steering our share of flows
+    /// into the unserviced receive queue the whole time.
+    fn wedge_stall(&self) {
+        loop {
+            // ordering: Acquire — pairs with the Release stores in
+            // `ShardedRelay::shutdown` / `ShardSlot::bump_generation`.
+            if self.stop.load(Ordering::Acquire) || self.slot.generation() != self.my_gen {
+                return;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Rung 1 of the shed ladder: may this datagram be forwarded?
+    fn forward_ok(&mut self) -> bool {
+        self.overload.as_mut().is_none_or(|ov| ov.forward.take())
+    }
+
+    /// Rungs 2–3: may a NACK for `flow` be emitted (or is it coalesced
+    /// / shed)?
+    fn nack_verdict(&mut self, flow: u64) -> NackVerdict {
+        match self.overload.as_mut() {
+            None => NackVerdict::Send,
+            Some(ov) => ov.nack_verdict(flow),
         }
     }
 
@@ -558,18 +1053,44 @@ impl ShardWorker {
             }
             match self.kind {
                 RelayKind::Streamlined if flags.contains(Flags::TRIMMED) => {
-                    // The NACK shares flow and seq with the trimmed
-                    // header: rewrite the one differing byte in place and
-                    // bounce the buffer back whence it came.
-                    rewrite_trimmed_to_nack(ring.datagram_mut(i)).expect("parsed trimmed");
-                    queue.push_slot(i, WIRE_HEADER_LEN, from);
-                    local.nacks += 1;
+                    // Trim-NACKs share the NACK budget: a NACK storm is
+                    // a NACK storm regardless of what provoked it.
+                    match self.nack_verdict(flow) {
+                        NackVerdict::Send => {
+                            // The NACK shares flow and seq with the
+                            // trimmed header: rewrite the one differing
+                            // byte in place and bounce the buffer back
+                            // whence it came.
+                            rewrite_trimmed_to_nack(ring.datagram_mut(i)).expect("parsed trimmed");
+                            queue.push_slot(i, WIRE_HEADER_LEN, from);
+                            local.nacks += 1;
+                        }
+                        NackVerdict::Coalesced => local.nacks_coalesced += 1,
+                        NackVerdict::Shed => local.shed_dropped += 1,
+                    }
                 }
                 RelayKind::Detecting => {
+                    if !self.forward_ok() {
+                        // Shed *before* the detector observes the seq: a
+                        // shed datagram must look like network loss
+                        // downstream, and observing it would suppress
+                        // the very NACK that gets it retransmitted.
+                        local.shed_dropped += 1;
+                        return;
+                    }
                     last_activity.insert(flow, Instant::now());
                     for loss in self.detector.observe(detector_flow(flow), seq) {
-                        queue.push_nack(flow, loss.seq, from);
-                        local.nacks += 1;
+                        // Generated NACKs ride the same budget (note:
+                        // detecting is not datagram-conserving — one
+                        // arrival can yield several NACKs).
+                        match self.nack_verdict(flow) {
+                            NackVerdict::Send => {
+                                queue.push_nack(flow, loss.seq, from);
+                                local.nacks += 1;
+                            }
+                            NackVerdict::Coalesced => local.nacks_coalesced += 1,
+                            NackVerdict::Shed => local.shed_dropped += 1,
+                        }
                     }
                     queue.push_slot(i, wire_len, self.receiver);
                     local.forwarded += 1;
@@ -577,8 +1098,30 @@ impl ShardWorker {
                 // Naive forwards everything — trimmed headers included —
                 // and Streamlined forwards untrimmed data.
                 _ => {
-                    queue.push_slot(i, wire_len, self.receiver);
-                    local.forwarded += 1;
+                    if self.forward_ok() {
+                        queue.push_slot(i, wire_len, self.receiver);
+                        local.forwarded += 1;
+                    } else if self.kind == RelayKind::Naive {
+                        // Naive has no NACK concept: over budget is a
+                        // plain (counted) drop.
+                        local.shed_dropped += 1;
+                    } else {
+                        // Ladder rung 2: no forward budget → tell the
+                        // sender *now* with a NACK (in-place rewrite,
+                        // header-only bounce) instead of dropping
+                        // silently and waiting out an RTO.
+                        match self.nack_verdict(flow) {
+                            NackVerdict::Send => {
+                                rewrite_data_to_nack(ring.datagram_mut(i)).expect("parsed data");
+                                queue.push_slot(i, WIRE_HEADER_LEN, from);
+                                local.nacks += 1;
+                                local.shed_nacked += 1;
+                            }
+                            NackVerdict::Coalesced => local.nacks_coalesced += 1,
+                            // Rung 3: both buckets dry — drop, counted.
+                            NackVerdict::Shed => local.shed_dropped += 1,
+                        }
+                    }
                 }
             }
         } else {
@@ -605,6 +1148,11 @@ impl ShardWorker {
     /// Quiescence sweep ([`RelayKind::Detecting`]): re-NACK tail losses
     /// of flows with no recent arrivals. Sends only scratch-ring NACKs,
     /// so it can flush against an empty receive ring.
+    ///
+    /// Sweep NACKs are deliberately *not* run through the shed ladder:
+    /// they fire on quiescence (so never during a storm), are the last
+    /// recovery line for tail losses, and are bounded by the detector's
+    /// own pending-loss memory.
     fn sweep(
         &mut self,
         senders: &HashMap<u64, SocketAddr>,
@@ -675,6 +1223,35 @@ mod directory_tests {
     }
 
     #[test]
+    fn directory_counts_failed_publishes() {
+        // Capacity 1 → one slot, mask 0: every probe lands on index 0,
+        // so a second distinct flow saturates after DIR_MAX_PROBES.
+        let dir = FlowDirectory::new(1);
+        let v4: SocketAddr = "127.0.0.1:1000".parse().unwrap();
+        assert_eq!(dir.publish_failed(), 0);
+
+        // Sentinel: flow u64::MAX maps to key 0 ("empty").
+        dir.publish(u64::MAX, v4);
+        assert_eq!(dir.publish_failed(), 1, "sentinel flow counted");
+
+        // IPv6 senders can't be packed into the value word.
+        dir.publish(7, "[::1]:1000".parse().unwrap());
+        assert_eq!(dir.publish_failed(), 2, "ipv6 sender counted");
+
+        // Successful publish (and same-flow re-publish) never counts.
+        dir.publish(7, v4);
+        dir.publish(7, v4);
+        assert_eq!(dir.publish_failed(), 2);
+        assert_eq!(dir.lookup(7), Some(v4));
+
+        // Saturation: a second flow finds every probe occupied.
+        dir.publish(8, v4);
+        assert_eq!(dir.publish_failed(), 3, "saturated table counted");
+        assert_eq!(dir.lookup(8), None, "saturated flow stays private");
+        assert_eq!(dir.lookup(7), Some(v4), "existing entry untouched");
+    }
+
+    #[test]
     fn directory_survives_concurrent_publishers() {
         let dir = Arc::new(FlowDirectory::new(1024));
         let mut joins = Vec::new();
@@ -733,13 +1310,13 @@ mod tests {
                 kind,
                 shards: 2,
                 layer,
-                receiver,
                 detector: LossDetectorConfig {
                     reorder_threshold: 3,
                     max_pending: 1024,
                     ..Default::default()
                 },
                 sweep_interval: Duration::from_millis(30),
+                ..RelayConfig::streamlined(receiver)
             },
         )
         .expect("relay starts")

@@ -224,6 +224,30 @@ pub fn rewrite_trimmed_to_nack(datagram: &mut [u8]) -> Result<(), WireError> {
     Ok(())
 }
 
+/// Rewrites a full (untrimmed) data datagram **in place** into the NACK
+/// the overload shed ladder answers it with: the relay has no forwarding
+/// budget left, so instead of forwarding the payload it tells the sender
+/// to retransmit later — the Pulser-style "explicit notification beats
+/// silent loss" rung. Flow and sequence are already right; the flags byte
+/// and the payload-length field change (the length must be zeroed so the
+/// header-only send parses as a well-formed NACK). The caller sends only
+/// the first [`WIRE_HEADER_LEN`] bytes.
+///
+/// # Errors
+/// [`WireError`] if `datagram` is not a valid data datagram (`BadFlags`
+/// when valid but not DATA).
+#[inline]
+pub fn rewrite_data_to_nack(datagram: &mut [u8]) -> Result<(), WireError> {
+    let view = DatagramView::parse(datagram)?;
+    if !view.flags().contains(Flags::DATA) {
+        return Err(WireError::BadFlags);
+    }
+    datagram[OFF_FLAGS] = Flags::NACK.0;
+    datagram[OFF_LEN] = 0;
+    datagram[OFF_LEN + 1] = 0;
+    Ok(())
+}
+
 /// Serializes a NACK header into a caller-provided buffer without
 /// allocating (the batched datapath's NACK scratch ring).
 #[inline]
@@ -454,6 +478,29 @@ mod tests {
             rewrite_trimmed_to_nack(&mut short),
             Err(WireError::Truncated)
         );
+    }
+
+    #[test]
+    fn rewrite_data_to_nack_yields_valid_header_only_nack() {
+        let mut wire = WireHeader::data(9, 77, 5).encode(&[1, 2, 3, 4, 5]).to_vec();
+        rewrite_data_to_nack(&mut wire).unwrap();
+        // The shed ladder sends only the header prefix.
+        let (h, p) = WireHeader::decode(&wire[..WIRE_HEADER_LEN]).unwrap();
+        assert_eq!(h, WireHeader::nack(9, 77));
+        assert!(p.is_empty());
+        // Trimmed data is still DATA — the rewrite accepts it too.
+        let mut trimmed = WireHeader::trimmed(3, 4).encode(&[]).to_vec();
+        rewrite_data_to_nack(&mut trimmed).unwrap();
+        let (h, _) = WireHeader::decode(&trimmed).unwrap();
+        assert_eq!(h, WireHeader::nack(3, 4));
+    }
+
+    #[test]
+    fn rewrite_data_to_nack_rejects_control_and_garbage() {
+        let mut ack = WireHeader::ack(1, 2).encode(&[]).to_vec();
+        assert_eq!(rewrite_data_to_nack(&mut ack), Err(WireError::BadFlags));
+        let mut junk = vec![0u8; 50];
+        assert_eq!(rewrite_data_to_nack(&mut junk), Err(WireError::BadMagic));
     }
 
     #[test]

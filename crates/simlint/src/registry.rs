@@ -48,9 +48,14 @@ pub struct Registration {
 
 /// The full registry, in reporting order.
 ///
-/// * The three determinism rules skip the two crates whose job is
-///   wall-clock I/O (the live datapath and the measurement tooling) —
+/// * `hash-collections` and `wall-clock` skip the two crates whose job
+///   is wall-clock I/O (the live datapath and the measurement tooling) —
 ///   the original PR 4 exemption, now scoped to exactly those rules.
+/// * `ambient-rng` exempts only `trace` (it hosts the seed plumbing
+///   itself). `netproxy` lost its exemption in PR 10: the fault shim
+///   and the load generator both derive their streams from the run
+///   seed via `trace::SplitMix64`, so ambient randomness in the live
+///   datapath is a bug there like anywhere else.
 /// * `unsafe-without-safety` is workspace-wide: only `netproxy` may
 ///   contain `unsafe` at all (every other crate carries
 ///   `#![forbid(unsafe_code)]`), but the rule watches everywhere so a
@@ -73,7 +78,7 @@ pub const REGISTRY: [Registration; 6] = [
     },
     Registration {
         rule: Rule::AmbientRng,
-        scope: Scope::ExceptCrates(&["netproxy", "trace"]),
+        scope: Scope::ExceptCrates(&["trace"]),
     },
     Registration {
         rule: Rule::UnsafeWithoutSafety,
@@ -132,6 +137,15 @@ mod tests {
         assert!(!active_rules("crates/trace/src/lib.rs").contains(&Rule::HashCollections));
         assert!(active_rules("crates/dcsim/src/sim.rs").contains(&Rule::WallClock));
         assert!(active_rules("src/lib.rs").contains(&Rule::AmbientRng));
+    }
+
+    #[test]
+    fn ambient_rng_covers_netproxy_but_not_trace() {
+        // PR 10: the fault shim is seed-derived, so netproxy is back
+        // under the ambient-rng rule; only trace keeps the exemption.
+        assert!(active_rules("crates/netproxy/src/fault.rs").contains(&Rule::AmbientRng));
+        assert!(active_rules("crates/netproxy/src/loadgen.rs").contains(&Rule::AmbientRng));
+        assert!(!active_rules("crates/trace/src/lib.rs").contains(&Rule::AmbientRng));
     }
 
     #[test]

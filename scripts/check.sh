@@ -49,6 +49,10 @@ RUSTFLAGS="--cfg loom" cargo test "${OFFLINE[@]}" -p netproxy --test loom -q
 echo "== netproxy loadgen smoke (every variant x every socket layer, zero unexplained loss)"
 cargo run --release "${OFFLINE[@]}" -q -p bench --bin netproxy_load -- --smoke
 
+echo "== netproxy chaos soak (bounded: 5 s, faults + mid-run crash + overload ladder, ledger-verified)"
+cargo run --release "${OFFLINE[@]}" -q -p bench --bin netproxy_soak -- \
+  --duration-s 5 --rate 30000 --overload-pps 9000 --json
+
 echo "== perfgate (criterion medians vs committed BENCH baselines, >10% fails; PERFGATE_SKIP=1 to skip)"
 scripts/perfgate.sh "${OFFLINE[@]}"
 

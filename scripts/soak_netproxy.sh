@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Chaos soak campaign for the netproxy datapath: loadgen x fault-injected
+# sharded relay with a mid-run crash and wedge, on every available socket
+# layer, judged by the netproxy_soak packet-accounting ledger (zero
+# unexplained loss; see DESIGN.md §15).
+#
+#   scripts/soak_netproxy.sh                      # 60 s per layer
+#   SOAK_DURATION_S=20 scripts/soak_netproxy.sh   # CI-sized
+#
+# JSON verdicts land in target/soak/ (one file per layer); the script
+# exits nonzero if any layer's verdict is "fail".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${SOAK_DURATION_S:-60}"
+SEED="${SOAK_SEED:-1}"
+OUTDIR="target/soak"
+mkdir -p "$OUTDIR"
+
+LAYERS=(fallback)
+if [[ "$(uname -s)" == "Linux" ]]; then
+  LAYERS=(mmsg fallback)
+fi
+
+cargo build --release -q -p bench --bin netproxy_soak
+
+FAILED=0
+for layer in "${LAYERS[@]}"; do
+  out="$OUTDIR/netproxy_soak_${layer}.json"
+  echo "== netproxy_soak: ${DURATION}s on ${layer} (faults + crash + wedge + overload)"
+  if ./target/release/netproxy_soak \
+      --duration-s "$DURATION" --seed "$SEED" --layer "$layer" \
+      --wedge --overload-pps 15000 --json | tee "$out"; then
+    echo "   verdict: pass (${out})"
+  else
+    echo "   verdict: FAIL (${out})" >&2
+    FAILED=1
+  fi
+done
+
+exit "$FAILED"
